@@ -1,0 +1,26 @@
+"""Shared machinery for the figure benchmarks.
+
+Each benchmark regenerates one table/figure of the paper via the harness
+registry, prints the paper-style rows (run pytest with ``-s`` to see
+them), and fails if any shape check fails. ``benchmark.pedantic`` with a
+single round keeps pytest-benchmark from re-running multi-minute
+simulations; the recorded time is the full figure-regeneration time.
+"""
+
+import pytest
+
+from repro.harness.figures import run_figure
+
+
+def regenerate(benchmark, figure_id):
+    """Run one figure under the benchmark fixture and assert its checks."""
+    result = benchmark.pedantic(
+        run_figure, args=(figure_id,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    failed = result.failed_checks()
+    assert not failed, f"{figure_id} shape checks failed: " + "; ".join(
+        check.description for check in failed
+    )
+    return result

@@ -1,0 +1,7 @@
+"""A2 — runtime TDF change re-scales perception live (DESIGN.md: A2)."""
+
+from conftest import regenerate
+
+
+def test_ablation_dynamic_tdf(benchmark):
+    regenerate(benchmark, "ablation2")

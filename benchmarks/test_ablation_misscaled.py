@@ -1,0 +1,7 @@
+"""A1 — negative control: unscaled physical network diverges (DESIGN.md: A1)."""
+
+from conftest import regenerate
+
+
+def test_ablation_misscaled(benchmark):
+    regenerate(benchmark, "ablation1")

@@ -1,0 +1,7 @@
+"""E1 — equivalence holds under competing cross traffic (DESIGN.md: E1)."""
+
+from conftest import regenerate
+
+
+def test_ext1_cross_traffic(benchmark):
+    regenerate(benchmark, "ext1")

@@ -1,0 +1,7 @@
+"""E2 — multiple dilated guests multiplexed on one machine (DESIGN.md: E2)."""
+
+from conftest import regenerate
+
+
+def test_ext2_consolidation(benchmark):
+    regenerate(benchmark, "ext2")

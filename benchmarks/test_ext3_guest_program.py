@@ -1,0 +1,7 @@
+"""E3 — mixed-resource guest program, phase-by-phase (DESIGN.md: E3)."""
+
+from conftest import regenerate
+
+
+def test_ext3_guest_program(benchmark):
+    regenerate(benchmark, "ext3")

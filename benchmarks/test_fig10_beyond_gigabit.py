@@ -1,0 +1,7 @@
+"""F10 — beyond line rate: 10 Gbps paths on 1 Gbps hardware (DESIGN.md: F10)."""
+
+from conftest import regenerate
+
+
+def test_fig10_beyond_gigabit(benchmark):
+    regenerate(benchmark, "fig10")

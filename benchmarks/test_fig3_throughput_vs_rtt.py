@@ -1,0 +1,7 @@
+"""F3 — TCP throughput vs RTT, TDF {1,10,100} (DESIGN.md: F3)."""
+
+from conftest import regenerate
+
+
+def test_fig3_throughput_vs_rtt(benchmark):
+    regenerate(benchmark, "fig3")

@@ -1,0 +1,7 @@
+"""F4 — TCP throughput vs bottleneck bandwidth (DESIGN.md: F4)."""
+
+from conftest import regenerate
+
+
+def test_fig4_throughput_vs_bandwidth(benchmark):
+    regenerate(benchmark, "fig4")

@@ -1,0 +1,7 @@
+"""F5 — packet interarrival distribution under dilation (DESIGN.md: F5)."""
+
+from conftest import regenerate
+
+
+def test_fig5_interarrival(benchmark):
+    regenerate(benchmark, "fig5")

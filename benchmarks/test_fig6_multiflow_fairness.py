@@ -1,0 +1,7 @@
+"""F6 — multi-flow bottleneck sharing under dilation (DESIGN.md: F6)."""
+
+from conftest import regenerate
+
+
+def test_fig6_multiflow_fairness(benchmark):
+    regenerate(benchmark, "fig6")

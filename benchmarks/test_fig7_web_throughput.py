@@ -1,0 +1,7 @@
+"""F7 — web server throughput vs offered load (DESIGN.md: F7)."""
+
+from conftest import regenerate
+
+
+def test_fig7_web_throughput(benchmark):
+    regenerate(benchmark, "fig7")

@@ -1,0 +1,7 @@
+"""F8 — web response time vs offered load (DESIGN.md: F8)."""
+
+from conftest import regenerate
+
+
+def test_fig8_web_response_time(benchmark):
+    regenerate(benchmark, "fig8")

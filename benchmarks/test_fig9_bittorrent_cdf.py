@@ -1,0 +1,7 @@
+"""F9 — BitTorrent download-time CDF (DESIGN.md: F9)."""
+
+from conftest import regenerate
+
+
+def test_fig9_bittorrent_cdf(benchmark):
+    regenerate(benchmark, "fig9")

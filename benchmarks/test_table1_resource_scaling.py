@@ -1,0 +1,7 @@
+"""T1 — perceived-resource scaling table (DESIGN.md: T1)."""
+
+from conftest import regenerate
+
+
+def test_table1_resource_scaling(benchmark):
+    regenerate(benchmark, "table1")

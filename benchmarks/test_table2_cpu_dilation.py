@@ -1,0 +1,7 @@
+"""T2 — CPU-bound task timing under dilation (DESIGN.md: T2)."""
+
+from conftest import regenerate
+
+
+def test_table2_cpu_dilation(benchmark):
+    regenerate(benchmark, "table2")

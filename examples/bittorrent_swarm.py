@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Swarm walkthrough: a BitTorrent swarm inside dilated guests.
+
+Builds a star network of one tracker, one seed, and eight leechers, boots
+every host as a TDF-10 guest, and downloads a 1 MiB file. Download times
+are reported in the guests' virtual seconds and match what an undilated
+swarm over a 10x-faster star would measure.
+
+Run it::
+
+    python examples/bittorrent_swarm.py
+"""
+
+import random
+
+from repro.apps.bittorrent import PeerConfig, TorrentMeta, build_swarm
+from repro.core.vmm import Hypervisor
+from repro.simnet.topology import Network
+from repro.simnet.units import mbps, ms
+
+
+def run_swarm(tdf: int) -> list:
+    leechers = 8
+    net = Network()
+    hub = net.add_node("hub")
+    leaves = []
+    for index in range(leechers + 2):  # tracker + seed + leechers
+        leaf = net.add_node(f"host{index}")
+        # Physical leaf links scaled so guests perceive 10 Mbps / 10 ms RTT.
+        net.add_link(leaf, hub, mbps(10) / tdf, ms(5) * tdf)
+        leaves.append(leaf)
+    net.finalize()
+
+    vmm = Hypervisor(net.sim)
+    vms = [
+        vmm.create_vm(f"vm{index}", tdf=tdf, cpu_share=1.0 / len(leaves),
+                      node=leaf)
+        for index, leaf in enumerate(leaves)
+    ]
+
+    swarm = build_swarm(
+        tracker_node=leaves[0],
+        seed_nodes=[leaves[1]],
+        leecher_nodes=leaves[2:],
+        meta=TorrentMeta(name="demo.torrent", total_bytes=1 << 20,
+                         piece_size=64 * 1024),
+        rng=random.Random(42),
+        config=PeerConfig(choke_interval_s=2.0),
+    )
+    swarm.start()
+
+    clock = vms[0].clock
+    virtual_elapsed = 0.0
+    while not swarm.all_complete() and virtual_elapsed < 300.0:
+        virtual_elapsed += 5.0
+        net.run(until=clock.to_physical(virtual_elapsed))
+    return sorted(swarm.download_times())
+
+
+def main() -> None:
+    print("1 MiB torrent, 1 seed + 8 leechers, perceived 10 Mbps star\n")
+    for tdf in (1, 10):
+        times = run_swarm(tdf)
+        formatted = ", ".join(f"{t:.1f}" for t in times)
+        print(f"TDF {tdf:>2}: download times (virtual s): {formatted}")
+    print("\nThe dilated swarm's timing matches the baseline — swarm dynamics")
+    print("(choking rounds, rarest-first spread) all run on warped clocks.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Emulating a messy consumer access line — and dilating it.
+
+Real emulation targets are rarely clean pipes. This example builds an
+ADSL-flavoured path with every imperfection the substrate models:
+
+* asymmetric rates (8 Mbps down / 1 Mbps up) via token-bucket shapers
+  below the physical line rate (exactly how dummynet/netem shape),
+* delay jitter on the downlink,
+* competing CBR cross traffic ("the roommate's video call").
+
+It then measures a download at TDF 1 and at TDF 5 over a 5x-slower
+physical substrate — the guests can't tell the difference.
+
+Run it::
+
+    python examples/dsl_line.py
+"""
+
+import random
+
+from repro.apps.crosstraffic import CbrSource, UdpSink
+from repro.apps.iperf import IperfClient, IperfServer
+from repro.core.vmm import Hypervisor
+from repro.simnet.shaper import ShapedInterface
+from repro.simnet.topology import Network
+from repro.simnet.units import format_rate, kbps, mbps, ms
+from repro.tcp.stack import TcpStack
+from repro.udp.socket import UdpStack
+
+
+def run_dsl(tdf: int) -> dict:
+    # Perceived targets; the physical build divides rates and multiplies
+    # delays by the TDF.
+    down_rate = mbps(8) / tdf
+    up_rate = mbps(1) / tdf
+    base_delay = ms(15) * tdf
+    jitter = ms(3) * tdf
+
+    net = Network()
+    isp = net.add_node("isp")
+    home = net.add_node("home")
+    link = net.add_link(isp, home, mbps(100) / tdf, base_delay)
+    net.finalize()
+
+    # Shape each direction below the line rate, as a DSLAM does. Burst
+    # sizes are byte quantities (TDF-invariant) and the shaper buffer is
+    # finite, so TCP receives loss feedback instead of bufferbloat.
+    down_shaper = ShapedInterface(net.sim, link.a_to_b, down_rate / 8,
+                                  burst_bytes=10_000,
+                                  max_backlog_packets=40)
+    up_shaper = ShapedInterface(net.sim, link.b_to_a, up_rate / 8,
+                                burst_bytes=3_000,
+                                max_backlog_packets=40)
+    isp.set_route("home", down_shaper)
+    home.set_route("isp", up_shaper)
+    # Jitter on the downlink propagation.
+    link.a_to_b.jitter_s = jitter
+    link.a_to_b._jitter_rng = random.Random(99)
+
+    vmm = Hypervisor(net.sim)
+    vmm.create_vm("isp-vm", tdf=tdf, cpu_share=0.5, node=isp)
+    home_vm = vmm.create_vm("home-vm", tdf=tdf, cpu_share=0.5, node=home)
+
+    # The download under test.
+    server = IperfServer(TcpStack(home))
+    IperfClient(TcpStack(isp), "home", total_bytes=1 << 30).start()
+
+    # The roommate's 1.5 Mbps (perceived) video stream.
+    sink = UdpSink(UdpStack(home), 9000)
+    cross = CbrSource(UdpStack(isp), "home", 9000,
+                      rate_bps=mbps(1.5), packet_bytes=1200)
+    cross.start()
+
+    net.run(until=home_vm.clock.to_physical(10.0))  # 10 virtual seconds
+    return {
+        "download": server.goodput_bps(),
+        "cross": sink.bytes_received * 8 / 10.0,
+    }
+
+
+def main() -> None:
+    print("ADSL-style line: shaped 8 Mbps down, 3 ms jitter, 1.5 Mbps of")
+    print("competing video traffic. Download goodput as the guest sees it:\n")
+    for tdf in (1, 5):
+        result = run_dsl(tdf)
+        print(f"TDF {tdf}: download {format_rate(result['download'])}, "
+              f"video stream {format_rate(result['cross'])}")
+    print("\nSame perceived line; at TDF 5 the physical substrate only ever")
+    print("carried one fifth of these rates.")
+
+
+if __name__ == "__main__":
+    main()

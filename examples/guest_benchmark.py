@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Run a benchmark *program* inside a dilated guest.
+
+The original paper dilated whole operating systems, so any binary running
+in the guest experienced warped time. The analogue here: guest programs
+are generator coroutines issuing syscalls (Sleep / Compute / DiskRead /
+DiskWrite / Now) against the VM's dilated clock, vCPU and virtual disk.
+
+This example times a little "compile benchmark" — read sources, crunch,
+write the artifact — three ways:
+
+* TDF 1 (the real machine);
+* TDF 10 with full resources: the guest thinks its machine got 10x faster;
+* TDF 10 with CPU share and disk throttle set to 1/10: the guest cannot
+  tell anything changed — which is how you dilate *only* the network.
+
+Run it::
+
+    python examples/guest_benchmark.py
+"""
+
+from repro.core.disk import VirtualDisk
+from repro.core.guest import Compute, DiskRead, DiskWrite, GuestKernel, Now
+from repro.core.vmm import Hypervisor
+from repro.simnet.engine import Simulator
+
+
+def compile_benchmark(results):
+    """The guest program: a toy compiler pipeline."""
+    start = yield Now()
+    yield DiskRead(64 << 20)        # read the source tree
+    read_done = yield Now()
+    yield Compute(3e9)              # compile
+    compiled = yield Now()
+    yield DiskWrite(16 << 20)       # write the binary
+    done = yield Now()
+    results["read"] = read_done - start
+    results["compile"] = compiled - read_done
+    results["write"] = done - compiled
+    results["total"] = done - start
+
+
+def run(tdf, cpu_share, disk_throttle):
+    sim = Simulator()
+    vmm = Hypervisor(sim, host_cycles_per_second=1e9)
+    vm = vmm.create_vm("bench-vm", tdf=tdf, cpu_share=cpu_share)
+    vm.attach_disk(VirtualDisk(sim, bandwidth_bytes_per_s=200e6,
+                               positioning_delay_s=0.004,
+                               throttle=disk_throttle))
+    results = {}
+    GuestKernel(vm).spawn(compile_benchmark(results))
+    sim.run()
+    results["wall"] = sim.now
+    return results
+
+
+def main() -> None:
+    rows = [
+        ("TDF 1  (the real machine)", run(1, 1.0, 1.0)),
+        ("TDF 10 (full resources)", run(10, 1.0, 1.0)),
+        ("TDF 10 (1/10 CPU+disk)", run(10, 0.1, 0.1)),
+    ]
+    print("Toy compile benchmark, timed by the guest itself (virtual s):\n")
+    print(f"{'configuration':<28} {'read':>7} {'compile':>8} "
+          f"{'write':>7} {'total':>7} {'physical':>9}")
+    for label, r in rows:
+        print(f"{label:<28} {r['read']:>7.3f} {r['compile']:>8.3f} "
+              f"{r['write']:>7.3f} {r['total']:>7.3f} {r['wall']:>8.1f}s")
+    print("\nRow 2: the guest believes its hardware is 10x faster.")
+    print("Row 3: compensation makes dilation invisible to the program —")
+    print("only the network (not shown here) would appear faster.")
+
+
+if __name__ == "__main__":
+    main()

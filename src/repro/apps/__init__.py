@@ -1,0 +1,32 @@
+"""``repro.apps`` — the workloads the paper's evaluation runs.
+
+* :mod:`repro.apps.iperf` — bulk-transfer micro-benchmarks;
+* :mod:`repro.apps.ping` — RTT probing;
+* :mod:`repro.apps.httpd` / :mod:`repro.apps.httpclient` — the web
+  macro-benchmark (SPECweb99-like);
+* :mod:`repro.apps.bittorrent` — the swarm macro-benchmark.
+"""
+
+from . import bittorrent
+from .crosstraffic import CbrSource, OnOffSource, UdpSink
+from .httpclient import ClosedLoopHttpUser, OpenLoopHttpLoad, PersistentHttpClient
+from .httpd import HttpRequest, HttpResponse, WebServer
+from .iperf import IperfClient, IperfServer
+from .ping import EchoResponder, Pinger
+
+__all__ = [
+    "IperfServer",
+    "IperfClient",
+    "EchoResponder",
+    "Pinger",
+    "WebServer",
+    "HttpRequest",
+    "HttpResponse",
+    "OpenLoopHttpLoad",
+    "ClosedLoopHttpUser",
+    "PersistentHttpClient",
+    "CbrSource",
+    "OnOffSource",
+    "UdpSink",
+    "bittorrent",
+]

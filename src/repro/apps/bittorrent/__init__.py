@@ -1,0 +1,37 @@
+"""``repro.apps.bittorrent`` — a swarm model over the emulated TCP stack."""
+
+from .messages import (
+    Bitfield,
+    Choke,
+    Handshake,
+    Have,
+    Interested,
+    NotInterested,
+    PieceData,
+    Request,
+    Unchoke,
+)
+from .metainfo import TorrentMeta
+from .peer import Peer, PeerConfig
+from .swarm import Swarm, build_swarm
+from .tracker import TRACKER_PORT, TrackerServer, announce
+
+__all__ = [
+    "TorrentMeta",
+    "Peer",
+    "PeerConfig",
+    "Swarm",
+    "build_swarm",
+    "TrackerServer",
+    "announce",
+    "TRACKER_PORT",
+    "Handshake",
+    "Bitfield",
+    "Have",
+    "Interested",
+    "NotInterested",
+    "Choke",
+    "Unchoke",
+    "Request",
+    "PieceData",
+]

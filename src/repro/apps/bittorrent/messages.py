@@ -1,0 +1,96 @@
+"""Peer-wire protocol messages.
+
+Wire sizes follow the real BitTorrent peer protocol so traffic volume is
+faithful: a 4-byte length prefix plus 1-byte id on every message, 68-byte
+handshakes, 13-byte piece headers, bitfields of ``ceil(pieces / 8)`` bytes.
+Piece payloads are transferred at whole-piece granularity (the real
+protocol's 16 KiB blocks are a flow-control refinement below the fidelity
+these experiments need; pipelining happens at the piece level instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+__all__ = [
+    "Handshake",
+    "Bitfield",
+    "Have",
+    "Interested",
+    "NotInterested",
+    "Choke",
+    "Unchoke",
+    "Request",
+    "PieceData",
+]
+
+_PREFIX = 5  # 4-byte length + 1-byte message id
+
+
+@dataclass(frozen=True)
+class Handshake:
+    """Identifies the sending peer (name stands in for the peer id)."""
+
+    peer_name: str
+    wire_bytes: int = 68
+
+
+@dataclass(frozen=True)
+class Bitfield:
+    """The sender's complete piece set, sent right after the handshake."""
+
+    have: FrozenSet[int]
+    num_pieces: int
+
+    @property
+    def wire_bytes(self) -> int:
+        return _PREFIX + -(-self.num_pieces // 8)
+
+
+@dataclass(frozen=True)
+class Have:
+    """Announces one newly completed piece."""
+
+    piece: int
+    wire_bytes: int = _PREFIX + 4
+
+
+@dataclass(frozen=True)
+class Interested:
+    wire_bytes: int = _PREFIX
+
+
+@dataclass(frozen=True)
+class NotInterested:
+    wire_bytes: int = _PREFIX
+
+
+@dataclass(frozen=True)
+class Choke:
+    wire_bytes: int = _PREFIX
+
+
+@dataclass(frozen=True)
+class Unchoke:
+    wire_bytes: int = _PREFIX
+
+
+@dataclass(frozen=True)
+class Request:
+    """Asks for one whole piece."""
+
+    piece: int
+    wire_bytes: int = _PREFIX + 12
+
+
+@dataclass(frozen=True)
+class PieceData:
+    """Delivers one piece; ``length`` is the piece's byte count."""
+
+    piece: int
+    length: int
+
+    @property
+    def wire_bytes(self) -> int:
+        return _PREFIX + 8 + self.length

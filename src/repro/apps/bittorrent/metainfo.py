@@ -1,0 +1,47 @@
+"""Torrent metadata: the emulated .torrent file."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...simnet.errors import ConfigurationError
+
+__all__ = ["TorrentMeta"]
+
+
+@dataclass(frozen=True)
+class TorrentMeta:
+    """Describes one single-file torrent.
+
+    The last piece may be shorter than ``piece_size``, as in real torrents.
+    """
+
+    name: str
+    total_bytes: int
+    piece_size: int = 65536
+
+    def __post_init__(self) -> None:
+        if self.total_bytes <= 0:
+            raise ConfigurationError("torrent must have positive size")
+        if self.piece_size <= 0:
+            raise ConfigurationError("piece size must be positive")
+
+    @property
+    def num_pieces(self) -> int:
+        """Number of pieces (ceil division)."""
+        return -(-self.total_bytes // self.piece_size)
+
+    def piece_length(self, index: int) -> int:
+        """Length of piece ``index`` in bytes."""
+        if not 0 <= index < self.num_pieces:
+            raise ConfigurationError(
+                f"piece {index} out of range 0..{self.num_pieces - 1}"
+            )
+        if index == self.num_pieces - 1:
+            remainder = self.total_bytes - self.piece_size * (self.num_pieces - 1)
+            return remainder
+        return self.piece_size
+
+    def all_pieces(self) -> frozenset:
+        """The complete piece set (what a seed holds)."""
+        return frozenset(range(self.num_pieces))

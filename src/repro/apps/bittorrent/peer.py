@@ -1,0 +1,398 @@
+"""The BitTorrent peer: piece management, choking, and the request engine.
+
+Implements the behaviours that drive swarm-level timing (what the paper's
+BitTorrent macro-benchmark measures):
+
+* **rarest-first** piece selection with seeded random tie-breaking;
+* **tit-for-tat choking**: every choke interval the peer unchokes the
+  ``upload_slots - 1`` interested peers that recently gave it the most
+  data (seeds rank by what they recently *sent*), plus one optimistic
+  unchoke rotated every third round;
+* **piece-level request pipelining** with a configurable depth;
+* re-request of pieces stranded by a choke or connection loss.
+
+Every timer (choke rounds, stall re-requests) runs on the node's clock, so
+a dilated swarm's dynamics play out in virtual time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from ...core.timer import PeriodicTimer
+from ...simnet.node import Node
+from ...tcp.options import TcpOptions
+from ...tcp.socket import TcpSocket
+from ...tcp.stack import TcpStack
+from ...udp.socket import UdpStack
+from . import tracker as tracker_mod
+from .messages import (
+    Bitfield,
+    Choke,
+    Handshake,
+    Have,
+    Interested,
+    NotInterested,
+    PieceData,
+    Request,
+    Unchoke,
+)
+from .metainfo import TorrentMeta
+
+__all__ = ["Peer", "PeerConfig"]
+
+PEER_PORT = 6881
+
+
+@dataclass
+class PeerConfig:
+    """Tunable peer behaviour (defaults follow the classic client)."""
+
+    upload_slots: int = 4
+    choke_interval_s: float = 10.0
+    optimistic_every_rounds: int = 3
+    request_pipeline: int = 2
+    stall_timeout_s: float = 30.0
+
+
+@dataclass(eq=False)  # identity semantics: connections live in sets
+class _Connection:
+    """Per-neighbour protocol state."""
+
+    socket: TcpSocket
+    remote_name: Optional[str] = None
+    am_choking: bool = True
+    am_interested: bool = False
+    peer_choking: bool = True
+    peer_interested: bool = False
+    remote_have: Set[int] = field(default_factory=set)
+    outstanding: Set[int] = field(default_factory=set)
+    #: Bytes received from this neighbour since the last choke round.
+    downloaded_window: int = 0
+    #: Bytes sent to this neighbour since the last choke round.
+    uploaded_window: int = 0
+    handshake_sent: bool = False
+
+
+class Peer:
+    """One participant in a swarm (seed if it starts with all pieces)."""
+
+    def __init__(
+        self,
+        tcp: TcpStack,
+        udp: UdpStack,
+        meta: TorrentMeta,
+        tracker_addr: str,
+        rng: random.Random,
+        seed: bool = False,
+        config: Optional[PeerConfig] = None,
+        port: int = PEER_PORT,
+        tcp_options: Optional[TcpOptions] = None,
+        on_complete: Optional[Callable[["Peer"], None]] = None,
+    ) -> None:
+        self.tcp = tcp
+        self.udp = udp
+        self.node: Node = tcp.node
+        self.name = self.node.name
+        self.meta = meta
+        self.tracker_addr = tracker_addr
+        self.rng = rng
+        self.config = config if config is not None else PeerConfig()
+        self.port = port
+        self.tcp_options = tcp_options
+        self.on_complete = on_complete
+
+        self.have: Set[int] = set(meta.all_pieces()) if seed else set()
+        self.started_at: Optional[float] = None
+        self.completed_at: Optional[float] = None if not seed else 0.0
+        self.bytes_uploaded = 0
+        self.bytes_downloaded = 0
+
+        #: Pieces currently requested somewhere: piece -> connection.
+        self._pending: Dict[int, _Connection] = {}
+        self._pending_since: Dict[int, float] = {}
+        self._connections: List[_Connection] = []
+        self._by_socket: Dict[int, _Connection] = {}
+        self._choke_rounds = 0
+        self._choke_timer: Optional[PeriodicTimer] = None
+        self._optimistic: Optional[_Connection] = None
+
+    # ------------------------------------------------------------- lifecycle
+
+    @property
+    def complete(self) -> bool:
+        """Whether every piece is held."""
+        return len(self.have) == self.meta.num_pieces
+
+    def download_time(self) -> Optional[float]:
+        """Local seconds from start to completion (None while leeching)."""
+        if self.completed_at is None or self.started_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+    def start(self) -> None:
+        """Listen, announce, and begin the choke rounds."""
+        self.started_at = self.node.clock.now()
+        if self.complete:
+            self.completed_at = self.started_at
+        self.tcp.listen(
+            self.port,
+            self._on_accept,
+            options=self.tcp_options,
+            on_message=self._on_message,
+            on_close=self._on_socket_close,
+            on_error=self._on_socket_error,
+        )
+        tracker_mod.announce(
+            self.udp, self.tracker_addr, self.meta.name, self.name, self.port,
+            self._on_tracker_peers,
+        )
+        self._choke_timer = PeriodicTimer(
+            self.node.clock, self.config.choke_interval_s, self._choke_round
+        )
+
+    def stop(self) -> None:
+        """Stop timers (connections are left to the simulation's end)."""
+        if self._choke_timer is not None:
+            self._choke_timer.stop()
+
+    # ------------------------------------------------------------ connections
+
+    def _on_tracker_peers(self, peers: List) -> None:
+        for remote_name, remote_port in peers:
+            if remote_name == self.name:
+                continue
+            if any(c.remote_name == remote_name for c in self._connections):
+                continue
+            sock = self.tcp.connect(
+                remote_name,
+                remote_port,
+                options=self.tcp_options,
+                on_connected=self._on_connected,
+                on_message=self._on_message,
+                on_close=self._on_socket_close,
+                on_error=self._on_socket_error,
+            )
+            self._register(sock).remote_name = remote_name
+
+    def _register(self, sock: TcpSocket) -> _Connection:
+        connection = _Connection(socket=sock)
+        self._connections.append(connection)
+        self._by_socket[id(sock)] = connection
+        return connection
+
+    def _on_accept(self, sock: TcpSocket) -> None:
+        connection = self._register(sock)
+        connection.remote_name = sock.remote_addr
+        self._send_handshake(connection)
+
+    def _on_connected(self, sock: TcpSocket) -> None:
+        connection = self._by_socket.get(id(sock))
+        if connection is not None:
+            self._send_handshake(connection)
+
+    def _send_handshake(self, connection: _Connection) -> None:
+        if connection.handshake_sent:
+            return
+        connection.handshake_sent = True
+        self._send(connection, Handshake(peer_name=self.name))
+        self._send(
+            connection,
+            Bitfield(have=frozenset(self.have), num_pieces=self.meta.num_pieces),
+        )
+
+    def _on_socket_close(self, sock: TcpSocket) -> None:
+        self._drop_connection(sock)
+
+    def _on_socket_error(self, sock: TcpSocket, error: Exception) -> None:
+        self._drop_connection(sock)
+
+    def _drop_connection(self, sock: TcpSocket) -> None:
+        connection = self._by_socket.pop(id(sock), None)
+        if connection is None:
+            return
+        if connection in self._connections:
+            self._connections.remove(connection)
+        for piece in list(connection.outstanding):
+            self._unpend(piece)
+        self._fill_pipelines()
+
+    # --------------------------------------------------------------- messages
+
+    def _send(self, connection: _Connection, message) -> None:
+        if connection.socket.state not in ("ESTABLISHED", "CLOSE_WAIT",
+                                           "SYN_SENT", "SYN_RCVD"):
+            return
+        connection.socket.send(message.wire_bytes, message=message)
+        if isinstance(message, PieceData):
+            self.bytes_uploaded += message.length
+            connection.uploaded_window += message.length
+
+    def _on_message(self, sock: TcpSocket, message) -> None:
+        connection = self._by_socket.get(id(sock))
+        if connection is None:
+            return
+        if isinstance(message, Handshake):
+            connection.remote_name = message.peer_name
+        elif isinstance(message, Bitfield):
+            connection.remote_have |= set(message.have)
+            self._update_interest(connection)
+        elif isinstance(message, Have):
+            connection.remote_have.add(message.piece)
+            self._update_interest(connection)
+            self._fill_pipeline(connection)
+        elif isinstance(message, Interested):
+            connection.peer_interested = True
+        elif isinstance(message, NotInterested):
+            connection.peer_interested = False
+        elif isinstance(message, Choke):
+            connection.peer_choking = True
+            for piece in list(connection.outstanding):
+                self._unpend(piece)
+            connection.outstanding.clear()
+        elif isinstance(message, Unchoke):
+            connection.peer_choking = False
+            self._fill_pipeline(connection)
+        elif isinstance(message, Request):
+            self._on_request(connection, message)
+        elif isinstance(message, PieceData):
+            self._on_piece(connection, message)
+
+    def _on_request(self, connection: _Connection, message: Request) -> None:
+        if connection.am_choking:
+            return  # requests racing a choke are dropped, as in the protocol
+        if message.piece not in self.have:
+            return
+        self._send(
+            connection,
+            PieceData(piece=message.piece,
+                      length=self.meta.piece_length(message.piece)),
+        )
+
+    def _on_piece(self, connection: _Connection, message: PieceData) -> None:
+        connection.outstanding.discard(message.piece)
+        connection.downloaded_window += message.length
+        self.bytes_downloaded += message.length
+        self._unpend(message.piece)
+        if message.piece in self.have:
+            return  # duplicate (e.g. raced a re-request)
+        self.have.add(message.piece)
+        for other in self._connections:
+            self._send(other, Have(piece=message.piece))
+        if self.complete and self.completed_at is None:
+            self.completed_at = self.node.clock.now()
+            if self.on_complete is not None:
+                self.on_complete(self)
+        self._update_all_interest()
+        self._fill_pipeline(connection)
+
+    # ------------------------------------------------------------- requesting
+
+    def _needed_from(self, connection: _Connection) -> List[int]:
+        return [
+            piece for piece in connection.remote_have
+            if piece not in self.have and piece not in self._pending
+        ]
+
+    def _update_interest(self, connection: _Connection) -> None:
+        interesting = any(
+            piece not in self.have for piece in connection.remote_have
+        )
+        if interesting and not connection.am_interested:
+            connection.am_interested = True
+            self._send(connection, Interested())
+        elif not interesting and connection.am_interested:
+            connection.am_interested = False
+            self._send(connection, NotInterested())
+
+    def _update_all_interest(self) -> None:
+        for connection in self._connections:
+            self._update_interest(connection)
+
+    def _availability(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for connection in self._connections:
+            for piece in connection.remote_have:
+                counts[piece] = counts.get(piece, 0) + 1
+        return counts
+
+    def _fill_pipeline(self, connection: _Connection) -> None:
+        if connection.peer_choking:
+            return
+        counts = self._availability()
+        while len(connection.outstanding) < self.config.request_pipeline:
+            candidates = self._needed_from(connection)
+            if not candidates:
+                return
+            # Rarest first; random tie-break keeps replicas spreading.
+            rarest = min(counts.get(piece, 1) for piece in candidates)
+            pool = [p for p in candidates if counts.get(p, 1) == rarest]
+            piece = self.rng.choice(pool)
+            self._request(connection, piece)
+
+    def _fill_pipelines(self) -> None:
+        for connection in self._connections:
+            self._fill_pipeline(connection)
+
+    def _request(self, connection: _Connection, piece: int) -> None:
+        connection.outstanding.add(piece)
+        self._pending[piece] = connection
+        self._pending_since[piece] = self.node.clock.now()
+        self._send(connection, Request(piece=piece))
+
+    def _unpend(self, piece: int) -> None:
+        self._pending.pop(piece, None)
+        self._pending_since.pop(piece, None)
+
+    def _retry_stalled(self) -> None:
+        now = self.node.clock.now()
+        stalled = [
+            piece for piece, since in self._pending_since.items()
+            if now - since > self.config.stall_timeout_s
+        ]
+        for piece in stalled:
+            holder = self._pending.get(piece)
+            if holder is not None:
+                holder.outstanding.discard(piece)
+            self._unpend(piece)
+        if stalled:
+            self._fill_pipelines()
+
+    # ---------------------------------------------------------------- choking
+
+    def _choke_round(self, round_index: int) -> None:
+        self._choke_rounds += 1
+        self._retry_stalled()
+        interested = [c for c in self._connections if c.peer_interested]
+        if self.complete:
+            # Seeds reciprocate nothing: rank by recent upload throughput so
+            # capacity goes where it is being drained fastest.
+            interested.sort(key=lambda c: (-c.uploaded_window, c.remote_name or ""))
+        else:
+            interested.sort(key=lambda c: (-c.downloaded_window, c.remote_name or ""))
+        regular = interested[: max(0, self.config.upload_slots - 1)]
+        unchoke = set(regular)
+        rotate = (self._choke_rounds % self.config.optimistic_every_rounds) == 1
+        if rotate or self._optimistic not in self._connections:
+            choked_pool = [c for c in interested if c not in unchoke]
+            self._optimistic = self.rng.choice(choked_pool) if choked_pool else None
+        if self._optimistic is not None:
+            unchoke.add(self._optimistic)
+        for connection in self._connections:
+            should_unchoke = connection in unchoke
+            if should_unchoke and connection.am_choking:
+                connection.am_choking = False
+                self._send(connection, Unchoke())
+            elif not should_unchoke and not connection.am_choking:
+                connection.am_choking = True
+                self._send(connection, Choke())
+            connection.downloaded_window = 0
+            connection.uploaded_window = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Peer({self.name}, {len(self.have)}/{self.meta.num_pieces} pieces, "
+            f"{len(self._connections)} conns)"
+        )

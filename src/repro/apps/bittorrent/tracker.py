@@ -1,0 +1,113 @@
+"""The tracker: peer discovery over UDP.
+
+A minimal UDP tracker in the spirit of BEP 15: peers announce themselves
+and receive a sample of already-known peers. Announce/response sizes match
+the real protocol's order of magnitude (~100 bytes + 6 per returned peer).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ...udp.socket import Datagram, UdpSocket, UdpStack
+
+__all__ = ["TrackerServer", "announce"]
+
+TRACKER_PORT = 6969
+ANNOUNCE_BYTES = 98
+RESPONSE_BASE_BYTES = 20
+BYTES_PER_PEER = 6
+
+
+@dataclass(frozen=True)
+class AnnounceRequest:
+    """Payload of an announce datagram."""
+
+    torrent: str
+    peer_name: str
+    peer_port: int
+
+
+@dataclass(frozen=True)
+class AnnounceResponse:
+    """Payload of the tracker's reply."""
+
+    torrent: str
+    peers: Tuple[Tuple[str, int], ...]
+
+
+class TrackerServer:
+    """Keeps the peer registry per torrent and answers announces."""
+
+    def __init__(
+        self,
+        udp: UdpStack,
+        port: int = TRACKER_PORT,
+        max_peers_returned: int = 50,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.udp = udp
+        self.port = port
+        self.max_peers_returned = max_peers_returned
+        self._rng = rng if rng is not None else random.Random(0)
+        #: torrent -> ordered dict of (peer_name, port)
+        self.registry: Dict[str, Dict[str, int]] = {}
+        self.announces = 0
+        self.socket = udp.bind(port, self._on_datagram)
+
+    def _on_datagram(self, sock: UdpSocket, datagram: Datagram) -> None:
+        request = datagram.payload
+        if not isinstance(request, AnnounceRequest):
+            return
+        self.announces += 1
+        peers = self.registry.setdefault(request.torrent, {})
+        known = [
+            (name, port) for name, port in peers.items()
+            if name != request.peer_name
+        ]
+        peers[request.peer_name] = request.peer_port
+        if len(known) > self.max_peers_returned:
+            known = self._rng.sample(known, self.max_peers_returned)
+        response = AnnounceResponse(torrent=request.torrent, peers=tuple(known))
+        sock.sendto(
+            datagram.src_addr,
+            datagram.src_port,
+            RESPONSE_BASE_BYTES + BYTES_PER_PEER * len(known),
+            payload=response,
+        )
+
+    def swarm_size(self, torrent: str) -> int:
+        """Registered peers for a torrent."""
+        return len(self.registry.get(torrent, {}))
+
+
+def announce(
+    udp: UdpStack,
+    tracker_addr: str,
+    torrent: str,
+    peer_name: str,
+    peer_port: int,
+    on_peers,
+    tracker_port: int = TRACKER_PORT,
+) -> UdpSocket:
+    """Client-side announce; ``on_peers(list_of_(name, port))`` is called on reply.
+
+    Returns the ephemeral socket (caller may close it after the reply).
+    """
+
+    def on_reply(sock: UdpSocket, datagram: Datagram) -> None:
+        response = datagram.payload
+        if isinstance(response, AnnounceResponse) and response.torrent == torrent:
+            on_peers(list(response.peers))
+
+    sock = udp.bind(None, on_reply)
+    sock.sendto(
+        tracker_addr,
+        tracker_port,
+        ANNOUNCE_BYTES,
+        payload=AnnounceRequest(torrent=torrent, peer_name=peer_name,
+                                peer_port=peer_port),
+    )
+    return sock

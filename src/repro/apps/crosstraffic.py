@@ -1,0 +1,167 @@
+"""Cross-traffic generators: the background load of realistic experiments.
+
+The paper's validation argument is only interesting if it holds when the
+measured flow shares the path with other traffic. Two standard sources:
+
+* :class:`CbrSource` — constant-bit-rate UDP (voice/video-like), the
+  classic probe-disturbing background;
+* :class:`OnOffSource` — exponential on/off UDP bursts (web-mice-like),
+  which stress queues intermittently.
+
+Both schedule in the owning node's clock, so dilated guests generate
+dilated cross traffic — keeping the dilated and baseline worlds identical.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..simnet.errors import ConfigurationError
+from ..simnet.node import Node
+from ..udp.socket import UdpStack
+
+__all__ = ["CbrSource", "OnOffSource", "UdpSink"]
+
+
+class UdpSink:
+    """Counts datagrams/bytes arriving on a port (the cross-traffic drain)."""
+
+    def __init__(self, udp: UdpStack, port: int) -> None:
+        self.bytes_received = 0
+        self.datagrams = 0
+        self.socket = udp.bind(port, self._on_datagram)
+
+    def _on_datagram(self, sock, datagram) -> None:
+        self.datagrams += 1
+        self.bytes_received += datagram.size_bytes
+
+
+class CbrSource:
+    """Constant-bit-rate UDP: one ``packet_bytes`` datagram every
+    ``packet_bytes * 8 / rate_bps`` local seconds."""
+
+    def __init__(
+        self,
+        udp: UdpStack,
+        dst_addr: str,
+        dst_port: int,
+        rate_bps: float,
+        packet_bytes: int = 1000,
+        flow_id: Optional[str] = None,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ConfigurationError("CBR rate must be positive")
+        if packet_bytes <= 0:
+            raise ConfigurationError("packet size must be positive")
+        self.node: Node = udp.node
+        self.dst_addr = dst_addr
+        self.dst_port = dst_port
+        self.rate_bps = rate_bps
+        self.packet_bytes = packet_bytes
+        self.flow_id = flow_id
+        self.interval = packet_bytes * 8 / rate_bps
+        self.packets_sent = 0
+        self._socket = udp.bind(None)
+        self._running = False
+
+    def start(self) -> None:
+        """Begin emitting (first packet goes out after one interval)."""
+        self._running = True
+        self.node.clock.call_in(self.interval, self._tick)
+
+    def stop(self) -> None:
+        """Stop after the current interval."""
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._socket.sendto(
+            self.dst_addr, self.dst_port, self.packet_bytes,
+            flow_id=self.flow_id,
+        )
+        self.packets_sent += 1
+        self.node.clock.call_in(self.interval, self._tick)
+
+
+class OnOffSource:
+    """Exponential on/off bursts: during ON, emits at ``peak_rate_bps``;
+    ON and OFF durations are exponential with the given means.
+
+    Long-run average rate = peak × on / (on + off).
+    """
+
+    def __init__(
+        self,
+        udp: UdpStack,
+        dst_addr: str,
+        dst_port: int,
+        peak_rate_bps: float,
+        mean_on_s: float,
+        mean_off_s: float,
+        rng: random.Random,
+        packet_bytes: int = 1000,
+        flow_id: Optional[str] = None,
+    ) -> None:
+        if peak_rate_bps <= 0 or mean_on_s <= 0 or mean_off_s <= 0:
+            raise ConfigurationError("on/off parameters must be positive")
+        self.node: Node = udp.node
+        self.dst_addr = dst_addr
+        self.dst_port = dst_port
+        self.peak_rate_bps = peak_rate_bps
+        self.mean_on_s = mean_on_s
+        self.mean_off_s = mean_off_s
+        self.rng = rng
+        self.packet_bytes = packet_bytes
+        self.flow_id = flow_id
+        self.interval = packet_bytes * 8 / peak_rate_bps
+        self.packets_sent = 0
+        self._socket = udp.bind(None)
+        self._running = False
+        self._on = False
+        self._phase_ends = 0.0
+
+    @property
+    def average_rate_bps(self) -> float:
+        """The long-run mean emission rate."""
+        duty = self.mean_on_s / (self.mean_on_s + self.mean_off_s)
+        return self.peak_rate_bps * duty
+
+    def start(self) -> None:
+        """Begin with an OFF period (stagger against other sources)."""
+        self._running = True
+        self._enter_off()
+
+    def stop(self) -> None:
+        """Stop at the next phase boundary or packet slot."""
+        self._running = False
+
+    def _exponential(self, mean: float) -> float:
+        return self.rng.expovariate(1.0 / mean)
+
+    def _enter_on(self) -> None:
+        if not self._running:
+            return
+        self._on = True
+        self._phase_ends = self.node.clock.now() + self._exponential(self.mean_on_s)
+        self._emit()
+
+    def _enter_off(self) -> None:
+        if not self._running:
+            return
+        self._on = False
+        self.node.clock.call_in(self._exponential(self.mean_off_s), self._enter_on)
+
+    def _emit(self) -> None:
+        if not self._running or not self._on:
+            return
+        if self.node.clock.now() >= self._phase_ends:
+            self._enter_off()
+            return
+        self._socket.sendto(
+            self.dst_addr, self.dst_port, self.packet_bytes,
+            flow_id=self.flow_id,
+        )
+        self.packets_sent += 1
+        self.node.clock.call_in(self.interval, self._emit)

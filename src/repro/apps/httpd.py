@@ -1,0 +1,128 @@
+"""A static-content web server (the emulator's Apache).
+
+The paper's first macro-benchmark is a web server under SPECweb99-like
+load, chosen because its behaviour couples *all* the dilated resources:
+network (responses), CPU (request processing) and timers (keep-alive,
+client timeouts). The model here keeps exactly those couplings:
+
+* requests arrive as TCP message markers carrying an
+  :class:`HttpRequest`;
+* each request costs CPU — a base cost plus a per-byte cost — executed on
+  the VM's :class:`~repro.core.cpu.VirtualCpu` (single-core FIFO, i.e. an
+  Apache worker bound to one core). Saturation therefore appears at the
+  CPU or at the network, whichever the dilation scenario makes scarcer;
+* the response is ``header + file size`` bytes tagged with an
+  :class:`HttpResponse`.
+
+If no CPU is supplied, request processing is free (pure network server).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.cpu import VirtualCpu
+from ..simnet.node import Node
+from ..tcp.options import TcpOptions
+from ..tcp.socket import TcpSocket
+from ..tcp.stack import TcpStack
+from ..workloads.specweb import SpecWebMix
+
+__all__ = ["HttpRequest", "HttpResponse", "WebServer",
+           "REQUEST_BYTES", "RESPONSE_HEADER_BYTES"]
+
+#: Wire size of a request (method + path + headers), paper-era typical.
+REQUEST_BYTES = 350
+
+#: Response header size.
+RESPONSE_HEADER_BYTES = 250
+
+_request_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """A GET for one file."""
+
+    path: str
+    request_id: int
+
+    @classmethod
+    def get(cls, path: str) -> "HttpRequest":
+        return cls(path=path, request_id=next(_request_ids))
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """The server's answer, matched to the request by id."""
+
+    request_id: int
+    status: int
+    body_bytes: int
+
+
+class WebServer:
+    """Accepts connections and serves the SPECweb document tree."""
+
+    def __init__(
+        self,
+        stack: TcpStack,
+        mix: SpecWebMix,
+        port: int = 80,
+        cpu: Optional[VirtualCpu] = None,
+        base_cycles_per_request: float = 2e6,
+        cycles_per_body_byte: float = 10.0,
+        options: Optional[TcpOptions] = None,
+    ) -> None:
+        self.stack = stack
+        self.node: Node = stack.node
+        self.mix = mix
+        self.port = port
+        self.cpu = cpu
+        self.base_cycles_per_request = base_cycles_per_request
+        self.cycles_per_body_byte = cycles_per_body_byte
+        self.requests_served = 0
+        self.bytes_served = 0
+        self.errors = 0
+        stack.listen(port, self._on_accept, options=options,
+                     on_message=self._on_message)
+
+    def _on_accept(self, sock: TcpSocket) -> None:
+        pass  # all work happens on request messages
+
+    def _on_message(self, sock: TcpSocket, message) -> None:
+        if not isinstance(message, HttpRequest):
+            self.errors += 1
+            return
+        try:
+            file = self.mix.file_by_name(message.path)
+        except Exception:
+            self.errors += 1
+            self._respond(sock, message.request_id, 404, 0)
+            return
+        if self.cpu is None:
+            self._respond(sock, message.request_id, 200, file.size_bytes)
+            return
+        cycles = (
+            self.base_cycles_per_request
+            + self.cycles_per_body_byte * file.size_bytes
+        )
+        self.cpu.run(
+            cycles,
+            on_complete=lambda: self._respond(
+                sock, message.request_id, 200, file.size_bytes
+            ),
+        )
+
+    def _respond(self, sock: TcpSocket, request_id: int, status: int,
+                 body_bytes: int) -> None:
+        if sock.state not in ("ESTABLISHED", "CLOSE_WAIT"):
+            self.errors += 1
+            return
+        response = HttpResponse(request_id=request_id, status=status,
+                                body_bytes=body_bytes)
+        sock.send(RESPONSE_HEADER_BYTES + body_bytes, message=response)
+        self.requests_served += 1
+        self.bytes_served += body_bytes

@@ -1,0 +1,99 @@
+"""RTT probing over UDP (the emulator's ping).
+
+Used by validation experiments to confirm that a dilated guest measures
+``physical RTT / TDF``. The prober times echo exchanges against its own
+node's clock, so inside a VM the reported RTTs are virtual.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from ..core.timer import PeriodicTimer
+from ..simnet.node import Node
+from ..stats.meters import LatencyMeter
+from ..udp.socket import Datagram, UdpSocket, UdpStack
+
+__all__ = ["EchoResponder", "Pinger"]
+
+ECHO_PORT = 7  # the classic echo service
+
+
+class EchoResponder:
+    """Bounces every datagram straight back to its source."""
+
+    def __init__(self, udp: UdpStack, port: int = ECHO_PORT) -> None:
+        self.socket = udp.bind(port, self._on_datagram)
+        self.echoed = 0
+
+    def _on_datagram(self, sock: UdpSocket, datagram: Datagram) -> None:
+        self.echoed += 1
+        sock.sendto(
+            datagram.src_addr,
+            datagram.src_port,
+            datagram.size_bytes,
+            payload=datagram.payload,
+        )
+
+
+class Pinger:
+    """Sends periodic echo requests and records RTTs in local time."""
+
+    def __init__(
+        self,
+        udp: UdpStack,
+        target_addr: str,
+        count: int = 10,
+        interval_s: float = 1.0,
+        payload_bytes: int = 56,
+        target_port: int = ECHO_PORT,
+    ) -> None:
+        self.node: Node = udp.node
+        self.target_addr = target_addr
+        self.target_port = target_port
+        self.count = count
+        self.interval_s = interval_s
+        self.payload_bytes = payload_bytes
+        self.latency = LatencyMeter(self.node.clock)
+        self.sent = 0
+        self.received = 0
+        self._seq = itertools.count()
+        self._socket = udp.bind(None, self._on_reply)
+        self._timer: Optional[PeriodicTimer] = None
+
+    def start(self) -> None:
+        """Send the first probe immediately, then one per interval."""
+        self._send_probe()
+        if self.count > 1:
+            self._timer = PeriodicTimer(
+                self.node.clock,
+                self.interval_s,
+                lambda tick: self._send_probe(),
+                max_ticks=self.count - 1,
+            )
+
+    def _send_probe(self) -> None:
+        seq = next(self._seq)
+        self.sent += 1
+        self.latency.start(seq)
+        self._socket.sendto(
+            self.target_addr, self.target_port, self.payload_bytes, payload=seq
+        )
+
+    def _on_reply(self, sock: UdpSocket, datagram: Datagram) -> None:
+        latency = self.latency.stop(datagram.payload)
+        if latency is not None:
+            self.received += 1
+
+    @property
+    def rtts(self) -> List[float]:
+        """All measured round-trip times, local seconds."""
+        return list(self.latency.samples)
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of probes not (yet) answered."""
+        if self.sent == 0:
+            return 0.0
+        return 1.0 - self.received / self.sent

@@ -1,0 +1,44 @@
+"""``repro.core`` — time dilation, the paper's primary contribution.
+
+The package provides the dilated time base (:class:`TDF`,
+:class:`DilatedClock`), the guest-visible services built on it
+(:class:`TimerService`, :class:`VirtualCpu`), the container tying them to a
+network node (:class:`VirtualMachine`), the VMM that creates and polices
+guests (:class:`Hypervisor`), and the resource-scaling arithmetic used to
+configure experiments (:mod:`repro.core.dilation`).
+"""
+
+from .clock import DilatedClock
+from .cpu import CpuTask, VirtualCpu
+from .disk import DiskRequest, VirtualDisk
+from .dilation import (
+    NetworkProfile,
+    cpu_share_for_constant_speed,
+    perceived,
+    physical_for,
+    resource_scaling_rows,
+)
+from .tdf import TDF, as_tdf
+from .timer import PeriodicTimer, Timer, TimerService
+from .vm import VirtualMachine
+from .vmm import Hypervisor
+
+__all__ = [
+    "TDF",
+    "as_tdf",
+    "DilatedClock",
+    "TimerService",
+    "Timer",
+    "PeriodicTimer",
+    "CpuTask",
+    "VirtualCpu",
+    "DiskRequest",
+    "VirtualDisk",
+    "VirtualMachine",
+    "Hypervisor",
+    "NetworkProfile",
+    "perceived",
+    "physical_for",
+    "cpu_share_for_constant_speed",
+    "resource_scaling_rows",
+]

@@ -1,0 +1,125 @@
+"""Dilated clocks — the mechanism at the heart of the paper.
+
+In the original system, Xen's paravirtual time interface was modified so a
+guest's every source of time (timer interrupts, jiffies, TSC reads,
+``gettimeofday``) advanced at ``1/TDF`` of the physical rate. Here the same
+effect is achieved by giving a guest a :class:`DilatedClock` instead of a
+:class:`~repro.simnet.clock.PhysicalClock`: components read ``now()`` and
+set timers in *virtual* seconds, and the clock translates to and from the
+engine's physical timeline.
+
+The mapping is piecewise linear and anchored at *epochs*: changing the TDF
+at runtime (the paper's §"implementation" notes the hypercall that allows
+this) re-anchors the line at the current instant, so virtual time is always
+continuous and strictly increasing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from ..simnet.clock import Clock
+from ..simnet.engine import Event, Simulator
+from ..simnet.errors import ConfigurationError, SchedulingError
+from .tdf import TDF, TdfLike, as_tdf
+
+__all__ = ["DilatedClock"]
+
+
+class DilatedClock(Clock):
+    """A clock whose local ("virtual") time runs at ``1/TDF`` physical rate.
+
+    Parameters
+    ----------
+    sim:
+        The physical-time engine.
+    tdf:
+        Initial dilation factor.
+    virtual_origin:
+        Virtual time corresponding to the instant of construction (guests
+        usually boot at virtual time zero regardless of when they start
+        physically).
+    """
+
+    def __init__(
+        self, sim: Simulator, tdf: TdfLike = 1, virtual_origin: float = 0.0
+    ) -> None:
+        self.sim = sim
+        self._tdf = as_tdf(tdf)
+        self._physical_epoch = sim.now
+        self._virtual_epoch = virtual_origin
+        #: History of (physical_time, virtual_time, tdf) anchors, newest last.
+        #: Kept so traces recorded before a TDF change can still be mapped.
+        self._epochs: List[Tuple[float, float, TDF]] = [
+            (self._physical_epoch, self._virtual_epoch, self._tdf)
+        ]
+
+    # ------------------------------------------------------------- conversions
+
+    @property
+    def tdf(self) -> TDF:
+        """The dilation factor currently in effect."""
+        return self._tdf
+
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.to_local(self.sim.now)
+
+    def to_local(self, physical_time: float) -> float:
+        """Map physical → virtual using the epoch in effect at that instant."""
+        physical_epoch, virtual_epoch, tdf = self._epoch_for_physical(physical_time)
+        return virtual_epoch + (physical_time - physical_epoch) / float(tdf.value)
+
+    def to_physical(self, local_time: float) -> float:
+        """Map virtual → physical using the epoch in effect at that instant."""
+        physical_epoch, virtual_epoch, tdf = self._epoch_for_virtual(local_time)
+        return physical_epoch + (local_time - virtual_epoch) * float(tdf.value)
+
+    def _epoch_for_physical(self, physical_time: float) -> Tuple[float, float, TDF]:
+        for anchor in reversed(self._epochs):
+            if physical_time >= anchor[0] - 1e-15:
+                return anchor
+        return self._epochs[0]
+
+    def _epoch_for_virtual(self, virtual_time: float) -> Tuple[float, float, TDF]:
+        for anchor in reversed(self._epochs):
+            if virtual_time >= anchor[1] - 1e-15:
+                return anchor
+        return self._epochs[0]
+
+    # --------------------------------------------------------------- scheduling
+
+    def call_in(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn`` after ``delay`` *virtual* seconds."""
+        if delay < 0:
+            raise SchedulingError(f"negative virtual delay: {delay}")
+        physical_delay = self._tdf.virtual_to_physical(delay)
+        return self.sim.schedule(physical_delay, fn)
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn`` at absolute *virtual* time ``when``."""
+        return self.sim.call_at(self.to_physical(when), fn)
+
+    # ------------------------------------------------------------- dynamic TDF
+
+    def set_tdf(self, tdf: TdfLike) -> None:
+        """Change the dilation factor, re-anchoring at the current instant.
+
+        Virtual time is continuous across the change and remains strictly
+        increasing; only its *rate* changes. Timers already scheduled keep
+        their physical firing times (exactly as pending hardware timers did
+        in the Xen implementation — the paper notes this as a caveat of
+        changing TDF mid-run).
+        """
+        new_tdf = as_tdf(tdf)
+        if new_tdf == self._tdf:
+            return
+        now_physical = self.sim.now
+        now_virtual = self.to_local(now_physical)
+        self._physical_epoch = now_physical
+        self._virtual_epoch = now_virtual
+        self._tdf = new_tdf
+        self._epochs.append((now_physical, now_virtual, new_tdf))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DilatedClock(tdf={self._tdf!r}, virtual_now={self.now():.6f})"

@@ -1,0 +1,172 @@
+"""Guest CPU model: cycle accounting under dilation and VMM shares.
+
+Time dilation scales *every* per-second resource, CPU included: a guest at
+TDF k that receives the whole physical CPU perceives a k×-faster processor.
+The paper points out that the VMM scheduler can compensate — allocate the
+guest a 1/k share and its perceived CPU speed stays constant while the
+network still appears k× faster. Both behaviours are reproduced here:
+
+    perceived cycles per virtual second = host_rate × share × TDF
+
+A :class:`VirtualCpu` is a single core executing submitted
+:class:`CpuTask` s in FIFO order; completions are scheduled in physical
+time from the *delivered* rate (``host_rate × share``), and guests measure
+durations with their own (possibly dilated) clock — the perceived speedup
+then falls out naturally rather than being programmed in.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from ..simnet.clock import Clock
+from ..simnet.engine import Event, Simulator
+from ..simnet.errors import ConfigurationError
+
+__all__ = ["CpuTask", "VirtualCpu"]
+
+
+class CpuTask:
+    """A unit of CPU work measured in cycles."""
+
+    def __init__(self, cycles: float, on_complete: Optional[Callable[[], None]] = None) -> None:
+        if cycles <= 0:
+            raise ConfigurationError(f"task cycles must be positive: {cycles}")
+        self.cycles = float(cycles)
+        self.remaining_cycles = float(cycles)
+        self.on_complete = on_complete
+        self.submitted_at_physical: Optional[float] = None
+        self.completed_at_physical: Optional[float] = None
+
+    @property
+    def done(self) -> bool:
+        """Whether the task has finished executing."""
+        return self.completed_at_physical is not None
+
+
+class VirtualCpu:
+    """One guest core scheduled by the hypervisor.
+
+    Parameters
+    ----------
+    sim:
+        Physical-time engine.
+    host_cycles_per_second:
+        Raw speed of the underlying physical core.
+    share:
+        Fraction of the physical core the VMM delivers to this guest
+        (0 < share ≤ 1). May be changed at runtime; an in-flight task is
+        re-costed from its remaining cycles.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host_cycles_per_second: float,
+        share: float = 1.0,
+    ) -> None:
+        if host_cycles_per_second <= 0:
+            raise ConfigurationError("host cycle rate must be positive")
+        self.sim = sim
+        self.host_cycles_per_second = host_cycles_per_second
+        self._share = 0.0
+        self._validate_and_set_share(share)
+        self._queue: Deque[CpuTask] = deque()
+        self._current: Optional[CpuTask] = None
+        self._current_started_at: float = 0.0
+        self._completion_event: Optional[Event] = None
+        #: Total cycles retired (observability).
+        self.cycles_executed = 0.0
+
+    def _validate_and_set_share(self, share: float) -> None:
+        if not 0 < share <= 1:
+            raise ConfigurationError(f"CPU share must be in (0, 1]: {share}")
+        self._share = share
+
+    @property
+    def share(self) -> float:
+        """Fraction of the physical core currently delivered."""
+        return self._share
+
+    @property
+    def delivered_cycles_per_second(self) -> float:
+        """Cycles per *physical* second this guest actually receives."""
+        return self.host_cycles_per_second * self._share
+
+    def perceived_cycles_per_second(self, clock: Clock) -> float:
+        """Cycles per *local* second as measured by ``clock``.
+
+        For a dilated guest this is ``delivered × TDF`` — the apparent
+        speedup the paper describes.
+        """
+        # Measure over a unit of local time mapped to physical time.
+        t0_local = clock.now()
+        physical_span = clock.to_physical(t0_local + 1.0) - clock.to_physical(t0_local)
+        return self.delivered_cycles_per_second * physical_span
+
+    # ----------------------------------------------------------------- running
+
+    def submit(self, task: CpuTask) -> CpuTask:
+        """Queue a task; it runs when the core is free (FIFO)."""
+        task.submitted_at_physical = self.sim.now
+        self._queue.append(task)
+        if self._current is None:
+            self._start_next()
+        return task
+
+    def run(self, cycles: float, on_complete: Optional[Callable[[], None]] = None) -> CpuTask:
+        """Convenience: build and submit a task in one call."""
+        return self.submit(CpuTask(cycles, on_complete))
+
+    @property
+    def busy(self) -> bool:
+        """Whether a task is executing now."""
+        return self._current is not None
+
+    @property
+    def queue_depth(self) -> int:
+        """Tasks waiting behind the current one."""
+        return len(self._queue)
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._current = None
+            self._completion_event = None
+            return
+        task = self._queue.popleft()
+        self._current = task
+        self._current_started_at = self.sim.now
+        duration = task.remaining_cycles / self.delivered_cycles_per_second
+        self._completion_event = self.sim.schedule(duration, self._complete_current)
+
+    def _complete_current(self) -> None:
+        task = self._current
+        assert task is not None
+        self.cycles_executed += task.remaining_cycles
+        task.remaining_cycles = 0.0
+        task.completed_at_physical = self.sim.now
+        self._current = None
+        if task.on_complete is not None:
+            task.on_complete()
+        if self._current is None:  # the callback may have submitted work
+            self._start_next()
+
+    # ----------------------------------------------------------- share changes
+
+    def set_share(self, share: float) -> None:
+        """Change the delivered share; re-costs the in-flight task."""
+        if self._current is not None and self._completion_event is not None:
+            elapsed = self.sim.now - self._current_started_at
+            executed = elapsed * self.delivered_cycles_per_second
+            self._current.remaining_cycles = max(
+                0.0, self._current.remaining_cycles - executed
+            )
+            self.cycles_executed += min(executed, self._current.cycles)
+            self._completion_event.cancel()
+            self._validate_and_set_share(share)
+            self._current_started_at = self.sim.now
+            duration = self._current.remaining_cycles / self.delivered_cycles_per_second
+            self._completion_event = self.sim.schedule(duration, self._complete_current)
+        else:
+            self._validate_and_set_share(share)

@@ -1,0 +1,135 @@
+"""Resource-scaling arithmetic: what dilation makes a guest perceive.
+
+These are the equations behind the paper's Table 1 and behind every
+experiment's configuration step. Given a *target* network a researcher
+wants to emulate (say a 10 Gbps, 2 ms-RTT path) and a TDF, `physical_for`
+answers "what physical network must I build, and what TDF must the guests
+run, so they perceive the target?" — and `perceived` is its inverse.
+
+The relations (for TDF = k):
+
+    perceived bandwidth = physical bandwidth × k
+    perceived delay     = physical delay ÷ k
+    perceived CPU       = physical CPU × share × k
+
+so    physical bandwidth = target ÷ k     (you need *less* hardware!)
+      physical delay     = target × k     (inject more delay)
+      CPU share          = 1 ÷ k          (to hold perceived CPU constant)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+from ..simnet.errors import ConfigurationError
+from .tdf import TDF, TdfLike, as_tdf
+
+__all__ = [
+    "NetworkProfile",
+    "perceived",
+    "physical_for",
+    "cpu_share_for_constant_speed",
+    "resource_scaling_rows",
+]
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """A network path described by the quantities dilation scales.
+
+    ``delay_s`` is the one-way propagation delay of the bottleneck path;
+    RTT-oriented helpers are provided because the paper's figures sweep RTT.
+    """
+
+    bandwidth_bps: float
+    delay_s: float
+    cpu_cycles_per_second: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ConfigurationError("profile bandwidth must be positive")
+        if self.delay_s < 0:
+            raise ConfigurationError("profile delay must be non-negative")
+        if self.cpu_cycles_per_second is not None and self.cpu_cycles_per_second <= 0:
+            raise ConfigurationError("profile CPU rate must be positive")
+
+    @property
+    def rtt_s(self) -> float:
+        """Round-trip propagation time for a symmetric path."""
+        return 2 * self.delay_s
+
+    @classmethod
+    def from_rtt(
+        cls,
+        bandwidth_bps: float,
+        rtt_s: float,
+        cpu_cycles_per_second: Optional[float] = None,
+    ) -> "NetworkProfile":
+        """Build a profile from an RTT instead of a one-way delay."""
+        return cls(bandwidth_bps, rtt_s / 2, cpu_cycles_per_second)
+
+    @property
+    def bandwidth_delay_product_bits(self) -> float:
+        """BDP over the round trip — sizes windows and queues."""
+        return self.bandwidth_bps * self.rtt_s
+
+
+def perceived(physical: NetworkProfile, tdf: TdfLike, cpu_share: float = 1.0) -> NetworkProfile:
+    """What a guest at ``tdf`` perceives, running over ``physical``."""
+    factor = float(as_tdf(tdf).value)
+    cpu = physical.cpu_cycles_per_second
+    return NetworkProfile(
+        bandwidth_bps=physical.bandwidth_bps * factor,
+        delay_s=physical.delay_s / factor,
+        cpu_cycles_per_second=None if cpu is None else cpu * cpu_share * factor,
+    )
+
+
+def physical_for(target: NetworkProfile, tdf: TdfLike) -> NetworkProfile:
+    """The physical network needed so guests at ``tdf`` perceive ``target``."""
+    factor = float(as_tdf(tdf).value)
+    cpu = target.cpu_cycles_per_second
+    return NetworkProfile(
+        bandwidth_bps=target.bandwidth_bps / factor,
+        delay_s=target.delay_s * factor,
+        cpu_cycles_per_second=None if cpu is None else cpu / factor,
+    )
+
+
+def cpu_share_for_constant_speed(tdf: TdfLike) -> float:
+    """The VMM share that keeps perceived CPU speed unchanged: ``1/k``."""
+    return float(1 / as_tdf(tdf).value)
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    """One row of the paper's conceptual resource-scaling table."""
+
+    tdf: TDF
+    physical_bandwidth_bps: float
+    perceived_bandwidth_bps: float
+    physical_delay_s: float
+    perceived_delay_s: float
+    perceived_cpu_cycles_per_second: Optional[float]
+
+
+def resource_scaling_rows(
+    physical: NetworkProfile, tdfs: List[TdfLike], cpu_share: float = 1.0
+) -> List[ScalingRow]:
+    """Rows of Table 1: the same hardware under a sweep of TDFs."""
+    rows: List[ScalingRow] = []
+    for raw in tdfs:
+        tdf = as_tdf(raw)
+        view = perceived(physical, tdf, cpu_share)
+        rows.append(
+            ScalingRow(
+                tdf=tdf,
+                physical_bandwidth_bps=physical.bandwidth_bps,
+                perceived_bandwidth_bps=view.bandwidth_bps,
+                physical_delay_s=physical.delay_s,
+                perceived_delay_s=view.delay_s,
+                perceived_cpu_cycles_per_second=view.cpu_cycles_per_second,
+            )
+        )
+    return rows

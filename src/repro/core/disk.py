@@ -1,0 +1,146 @@
+"""Guest disk I/O under dilation.
+
+The paper's discussion notes that dilation scales *every* time-derived
+resource a guest observes — disk throughput and request latency included —
+and that, as with CPU, the VMM can compensate (throttle the virtual disk)
+when an experiment wants only the network scaled.
+
+:class:`VirtualDisk` models the guest-visible block device the way the
+experiments need it: a single service queue with
+
+* per-request positioning overhead (seek + rotational, physical seconds),
+* transfer at a fixed physical bandwidth,
+
+both paid in physical time. A guest timing its I/O with a dilated clock
+therefore sees bandwidth multiplied by the TDF and latency divided by it —
+the same emergent scaling as the network path, with no dilation logic in
+the device itself. The ``throttle`` knob is the VMM-side compensation
+(fraction of the physical device's speed this guest receives).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+from ..simnet.engine import Simulator
+from ..simnet.errors import ConfigurationError
+
+__all__ = ["DiskRequest", "VirtualDisk"]
+
+
+class DiskRequest:
+    """One read or write of ``size_bytes``."""
+
+    def __init__(
+        self,
+        size_bytes: int,
+        is_write: bool = False,
+        on_complete: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if size_bytes <= 0:
+            raise ConfigurationError(f"request size must be positive: {size_bytes}")
+        self.size_bytes = size_bytes
+        self.is_write = is_write
+        self.on_complete = on_complete
+        self.submitted_at_physical: Optional[float] = None
+        self.completed_at_physical: Optional[float] = None
+
+    @property
+    def done(self) -> bool:
+        """Whether the request finished."""
+        return self.completed_at_physical is not None
+
+
+class VirtualDisk:
+    """A FIFO block device whose *perception* dilates with the guest clock.
+
+    Parameters
+    ----------
+    sim:
+        The physical-time engine.
+    bandwidth_bytes_per_s:
+        Sustained transfer rate of the physical device.
+    positioning_delay_s:
+        Seek + rotational latency charged per request (physical seconds).
+    throttle:
+        Fraction of the device delivered to this guest (0 < throttle ≤ 1).
+        Set to ``1/TDF`` to keep perceived disk speed constant while the
+        rest of the guest dilates.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bytes_per_s: float = 50e6,
+        positioning_delay_s: float = 0.008,
+        throttle: float = 1.0,
+    ) -> None:
+        if bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError("disk bandwidth must be positive")
+        if positioning_delay_s < 0:
+            raise ConfigurationError("positioning delay must be non-negative")
+        if not 0 < throttle <= 1:
+            raise ConfigurationError(f"throttle must be in (0, 1]: {throttle}")
+        self.sim = sim
+        self.bandwidth_bytes_per_s = bandwidth_bytes_per_s
+        self.positioning_delay_s = positioning_delay_s
+        self.throttle = throttle
+        self._queue: Deque[DiskRequest] = deque()
+        self._busy = False
+        self.requests_completed = 0
+        self.bytes_transferred = 0
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Physical bytes/second this guest's requests are served at."""
+        return self.bandwidth_bytes_per_s * self.throttle
+
+    def service_time(self, size_bytes: int) -> float:
+        """Physical seconds one request occupies the device."""
+        return (
+            self.positioning_delay_s / self.throttle
+            + size_bytes / self.effective_bandwidth
+        )
+
+    def submit(self, request: DiskRequest) -> DiskRequest:
+        """Enqueue a request; completions run in submission order."""
+        request.submitted_at_physical = self.sim.now
+        self._queue.append(request)
+        if not self._busy:
+            self._start_next()
+        return request
+
+    def read(self, size_bytes: int,
+             on_complete: Optional[Callable[[], None]] = None) -> DiskRequest:
+        """Convenience: submit a read."""
+        return self.submit(DiskRequest(size_bytes, False, on_complete))
+
+    def write(self, size_bytes: int,
+              on_complete: Optional[Callable[[], None]] = None) -> DiskRequest:
+        """Convenience: submit a write."""
+        return self.submit(DiskRequest(size_bytes, True, on_complete))
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting behind the one in service."""
+        return len(self._queue)
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        request = self._queue.popleft()
+        self.sim.schedule(
+            self.service_time(request.size_bytes),
+            lambda: self._complete(request),
+        )
+
+    def _complete(self, request: DiskRequest) -> None:
+        request.completed_at_physical = self.sim.now
+        self.requests_completed += 1
+        self.bytes_transferred += request.size_bytes
+        if request.on_complete is not None:
+            request.on_complete()
+        self._start_next()

@@ -1,0 +1,397 @@
+"""A miniature guest kernel: processes running on dilated resources.
+
+The original system dilated entire operating systems, so arbitrary guest
+*programs* — not just protocol stacks — experienced warped time. This
+module provides the equivalent programming model for the emulator: a
+:class:`GuestKernel` runs :class:`GuestProcess` es written as Python
+generators that ``yield`` syscalls:
+
+>>> def program():
+...     start = yield Now()
+...     yield Compute(cycles=5e8)     # burn CPU on the guest's vCPU
+...     yield Sleep(0.5)              # virtual seconds
+...     n = yield DiskRead(1 << 20)   # through the guest's virtual disk
+...     elapsed = (yield Now()) - start
+
+Every syscall is served by the owning VM's dilated clock, CPU and disk, so
+a program's self-measured timings scale with the TDF exactly as a real
+benchmark binary inside a dilated Xen guest did. The kernel itself adds no
+scheduling policy beyond what the devices impose (the vCPU is FIFO, the
+disk is FIFO); concurrency comes from processes interleaving at their
+syscall boundaries — cooperative multitasking, the honest model for a
+single-core guest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from ..simnet.errors import ConfigurationError, SimulationError
+from .vm import VirtualMachine
+
+__all__ = [
+    "Sleep",
+    "Compute",
+    "DiskRead",
+    "DiskWrite",
+    "Now",
+    "Join",
+    "Connect",
+    "SendOn",
+    "Flush",
+    "Recv",
+    "CloseSock",
+    "GuestSocket",
+    "GuestProcess",
+    "GuestKernel",
+]
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Suspend for ``seconds`` of virtual time."""
+
+    seconds: float
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Execute ``cycles`` on the guest's vCPU (FIFO with other work)."""
+
+    cycles: float
+
+
+@dataclass(frozen=True)
+class DiskRead:
+    """Read ``size_bytes`` from the guest's virtual disk."""
+
+    size_bytes: int
+
+
+@dataclass(frozen=True)
+class DiskWrite:
+    """Write ``size_bytes`` to the guest's virtual disk."""
+
+    size_bytes: int
+
+
+@dataclass(frozen=True)
+class Now:
+    """Resolve immediately to the guest's current virtual time."""
+
+
+@dataclass(frozen=True)
+class Join:
+    """Block until another process exits; resolves to that process.
+
+    Joining an already-exited process resolves immediately. A process
+    crashing does not propagate its error to joiners — inspect
+    ``process.error`` after the join.
+    """
+
+    process: "GuestProcess"
+
+
+@dataclass(frozen=True)
+class Connect:
+    """Open a TCP connection; resolves to a :class:`GuestSocket`.
+
+    Requires the VM to have a node with a registered
+    :class:`~repro.tcp.stack.TcpStack` handed to the kernel via
+    :meth:`GuestKernel.use_tcp`. A refused/failed connection crashes the
+    process with the socket error.
+    """
+
+    addr: str
+    port: int
+
+
+@dataclass(frozen=True)
+class SendOn:
+    """Queue ``n_bytes`` on a guest socket; resolves immediately."""
+
+    sock: "GuestSocket"
+    n_bytes: int
+
+
+@dataclass(frozen=True)
+class Flush:
+    """Block until everything written so far has been cumulatively ACKed
+    (blocking-write semantics); resolves to the total bytes acked."""
+
+    sock: "GuestSocket"
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Block until ``n_bytes`` more in-order bytes have arrived on the
+    socket; resolves to the socket's total received count."""
+
+    sock: "GuestSocket"
+    n_bytes: int
+
+
+@dataclass(frozen=True)
+class CloseSock:
+    """Close the write side of a guest socket; resolves immediately."""
+
+    sock: "GuestSocket"
+
+
+class GuestSocket:
+    """Kernel-managed wrapper pairing a TcpSocket with waiter bookkeeping."""
+
+    def __init__(self, raw) -> None:
+        self.raw = raw
+        self.connected = False
+        self.received_bytes = 0
+        self.acked_bytes = 0
+        self.closed_by_peer = False
+        self.error: Optional[BaseException] = None
+        # (condition, resume) pairs; condition() -> value or None.
+        self.waiters: List = []
+
+    def _wake(self) -> None:
+        still_waiting = []
+        for condition, resume in self.waiters:
+            value = condition()
+            if value is None:
+                still_waiting.append((condition, resume))
+            else:
+                resume(value)
+        self.waiters = still_waiting
+
+
+#: A guest program: a generator yielding syscalls, resumed with results.
+Program = Generator[Any, Any, None]
+
+
+class GuestProcess:
+    """One running program inside a guest."""
+
+    def __init__(
+        self,
+        kernel: "GuestKernel",
+        program: Program,
+        name: str,
+        on_exit: Optional[Callable[["GuestProcess"], None]] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.program = program
+        self.name = name
+        self.on_exit = on_exit
+        self.started_at_virtual = kernel.vm.clock.now()
+        self.finished_at_virtual: Optional[float] = None
+        self.error: Optional[BaseException] = None
+        self.syscalls = 0
+        self._joiners: List[Callable[[], None]] = []
+
+    @property
+    def alive(self) -> bool:
+        """Still running (not exited, not crashed)."""
+        return self.finished_at_virtual is None and self.error is None
+
+    def runtime(self) -> Optional[float]:
+        """Virtual seconds from spawn to exit (None while alive)."""
+        if self.finished_at_virtual is None:
+            return None
+        return self.finished_at_virtual - self.started_at_virtual
+
+    # ------------------------------------------------------------- execution
+
+    def _step(self, value: Any = None) -> None:
+        try:
+            syscall = self.program.send(value)
+        except StopIteration:
+            self._exit()
+            return
+        except Exception as error:  # program crashed
+            self.error = error
+            self._exit()
+            return
+        self.syscalls += 1
+        self._dispatch(syscall)
+
+    def _dispatch(self, syscall: Any) -> None:
+        vm = self.kernel.vm
+        if isinstance(syscall, Now):
+            # Resolve synchronously but resume through the event loop so a
+            # tight Now() loop cannot starve the simulation.
+            now = vm.clock.now()
+            vm.clock.call_in(0.0, lambda: self._step(now))
+        elif isinstance(syscall, Sleep):
+            if syscall.seconds < 0:
+                self._crash(ConfigurationError("negative sleep"))
+                return
+            vm.clock.call_in(
+                syscall.seconds, lambda: self._step(vm.clock.now())
+            )
+        elif isinstance(syscall, Compute):
+            vm.cpu.run(
+                syscall.cycles, on_complete=lambda: self._step(vm.clock.now())
+            )
+        elif isinstance(syscall, Join):
+            target = syscall.process
+            if target is self:
+                self._crash(SimulationError(
+                    f"process {self.name} cannot join itself"
+                ))
+                return
+            if target.alive:
+                target._joiners.append(
+                    lambda: self._step(target)
+                )
+            else:
+                vm.clock.call_in(0.0, lambda: self._step(target))
+        elif isinstance(syscall, Connect):
+            self._sys_connect(syscall)
+        elif isinstance(syscall, SendOn):
+            try:
+                syscall.sock.raw.send(syscall.n_bytes)
+            except Exception as error:
+                self._crash(error)
+                return
+            vm.clock.call_in(0.0, lambda: self._step(syscall.n_bytes))
+        elif isinstance(syscall, Flush):
+            sock = syscall.sock
+            target = sock.raw.send_buffer.stream_length
+
+            def flushed():
+                if sock.error is not None:
+                    return None  # the error path crashes separately
+                return sock.acked_bytes if sock.acked_bytes >= target else None
+
+            self._wait_on(sock, flushed)
+        elif isinstance(syscall, Recv):
+            sock = syscall.sock
+            target = sock.received_bytes + syscall.n_bytes
+
+            def received():
+                return (
+                    sock.received_bytes
+                    if sock.received_bytes >= target else None
+                )
+
+            self._wait_on(sock, received)
+        elif isinstance(syscall, CloseSock):
+            syscall.sock.raw.close()
+            vm.clock.call_in(0.0, lambda: self._step(None))
+        elif isinstance(syscall, (DiskRead, DiskWrite)):
+            if vm.disk is None:
+                self._crash(SimulationError(
+                    f"process {self.name}: VM {vm.name} has no disk attached"
+                ))
+                return
+            submit = vm.disk.read if isinstance(syscall, DiskRead) else vm.disk.write
+            submit(
+                syscall.size_bytes,
+                on_complete=lambda: self._step(syscall.size_bytes),
+            )
+        else:
+            self._crash(SimulationError(
+                f"process {self.name}: unknown syscall {syscall!r}"
+            ))
+
+    def _sys_connect(self, syscall: "Connect") -> None:
+        stack = self.kernel._tcp_stack
+        if stack is None:
+            self._crash(SimulationError(
+                f"process {self.name}: kernel has no TCP stack "
+                "(call GuestKernel.use_tcp first)"
+            ))
+            return
+        guest_sock = GuestSocket(raw=None)
+
+        def on_connected(raw) -> None:
+            guest_sock.connected = True
+            self._step(guest_sock)
+
+        def on_data(raw, n) -> None:
+            guest_sock.received_bytes += n
+            guest_sock._wake()
+
+        def on_acked(raw, total) -> None:
+            guest_sock.acked_bytes = total
+            guest_sock._wake()
+
+        def on_close(raw) -> None:
+            guest_sock.closed_by_peer = True
+            guest_sock._wake()
+
+        def on_error(raw, error) -> None:
+            guest_sock.error = error
+            self._crash(error)
+
+        guest_sock.raw = stack.connect(
+            syscall.addr, syscall.port,
+            on_connected=on_connected,
+            on_data=on_data,
+            on_acked=on_acked,
+            on_close=on_close,
+            on_error=on_error,
+        )
+
+    def _wait_on(self, sock: "GuestSocket", condition) -> None:
+        value = condition()
+        if value is not None:
+            self.kernel.vm.clock.call_in(0.0, lambda: self._step(value))
+            return
+        sock.waiters.append((condition, self._step))
+
+    def _crash(self, error: BaseException) -> None:
+        self.error = error
+        self.program.close()
+        self._exit()
+
+    def _exit(self) -> None:
+        self.finished_at_virtual = self.kernel.vm.clock.now()
+        self.kernel._reap(self)
+        if self.on_exit is not None:
+            self.on_exit(self)
+        joiners, self._joiners = self._joiners, []
+        for resume in joiners:
+            self.kernel.vm.clock.call_in(0.0, resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else ("crashed" if self.error else "done")
+        return f"GuestProcess({self.name}, {state})"
+
+
+class GuestKernel:
+    """Process management for one guest VM."""
+
+    def __init__(self, vm: VirtualMachine) -> None:
+        self.vm = vm
+        self.processes: Dict[str, GuestProcess] = {}
+        self.exited: List[GuestProcess] = []
+        self._tcp_stack = None
+
+    def use_tcp(self, stack) -> None:
+        """Give guest programs a TCP stack (enables the Connect syscall)."""
+        self._tcp_stack = stack
+
+    def spawn(
+        self,
+        program: Program,
+        name: Optional[str] = None,
+        on_exit: Optional[Callable[[GuestProcess], None]] = None,
+    ) -> GuestProcess:
+        """Start a program; it takes its first step on the next event."""
+        if name is None:
+            name = f"proc{len(self.processes) + len(self.exited)}"
+        if name in self.processes:
+            raise ConfigurationError(f"process name {name!r} already running")
+        process = GuestProcess(self, program, name, on_exit)
+        self.processes[name] = process
+        self.vm.clock.call_in(0.0, process._step)
+        return process
+
+    def _reap(self, process: GuestProcess) -> None:
+        self.processes.pop(process.name, None)
+        self.exited.append(process)
+
+    @property
+    def running(self) -> int:
+        """Processes currently alive."""
+        return len(self.processes)

@@ -1,0 +1,117 @@
+"""Guest timer service: one-shot and periodic timers in virtual time.
+
+This models the guest-visible programmable timer (the PIT/APIC timer whose
+interrupt rate Xen's dilation patch scaled). A guest OS component asks for
+callbacks in *virtual* seconds; the service converts deadlines through the
+guest's clock, so a TDF-10 guest asking for a 10 ms tick gets one every
+100 ms of physical time — exactly the dilated interrupt rate of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..simnet.clock import Clock
+from ..simnet.engine import Event
+from ..simnet.errors import ConfigurationError, SchedulingError
+
+__all__ = ["Timer", "PeriodicTimer", "TimerService"]
+
+
+class Timer:
+    """A cancellable one-shot timer armed in virtual time."""
+
+    def __init__(self, clock: Clock, delay: float, fn: Callable[[], None]) -> None:
+        self._fired = False
+        self._cancelled = False
+
+        def _fire() -> None:
+            self._fired = True
+            fn()
+
+        self._event: Event = clock.call_in(delay, _fire)
+
+    @property
+    def fired(self) -> bool:
+        """Whether the callback has run."""
+        return self._fired
+
+    @property
+    def active(self) -> bool:
+        """Armed and not yet fired or cancelled."""
+        return not self._fired and not self._cancelled
+
+    def cancel(self) -> None:
+        """Disarm; safe after firing or repeated calls."""
+        self._cancelled = True
+        self._event.cancel()
+
+
+class PeriodicTimer:
+    """A timer that re-arms itself every ``period`` virtual seconds.
+
+    The callback receives the tick ordinal (1-based). Re-arming happens
+    relative to the *scheduled* deadline, not the callback's completion, so
+    long callbacks do not skew the tick train — matching how a hardware
+    periodic timer behaves.
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        period: float,
+        fn: Callable[[int], None],
+        max_ticks: Optional[int] = None,
+    ) -> None:
+        if period <= 0:
+            raise ConfigurationError(f"period must be positive: {period}")
+        self._clock = clock
+        self._period = period
+        self._fn = fn
+        self._max_ticks = max_ticks
+        self._ticks = 0
+        self._stopped = False
+        self._next_deadline = clock.now() + period
+        self._event: Event = clock.call_at(self._next_deadline, self._tick)
+
+    @property
+    def ticks(self) -> int:
+        """Number of ticks delivered so far."""
+        return self._ticks
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self._ticks += 1
+        self._fn(self._ticks)
+        if self._stopped:  # the callback may stop the timer
+            return
+        if self._max_ticks is not None and self._ticks >= self._max_ticks:
+            self._stopped = True
+            return
+        self._next_deadline += self._period
+        self._event = self._clock.call_at(self._next_deadline, self._tick)
+
+    def stop(self) -> None:
+        """Stop ticking; safe to call from within the callback."""
+        self._stopped = True
+        self._event.cancel()
+
+
+class TimerService:
+    """Factory for a guest's timers, bound to the guest's (dilated) clock."""
+
+    def __init__(self, clock: Clock) -> None:
+        self.clock = clock
+
+    def after(self, delay: float, fn: Callable[[], None]) -> Timer:
+        """One-shot timer ``delay`` virtual seconds from now."""
+        if delay < 0:
+            raise SchedulingError(f"negative timer delay: {delay}")
+        return Timer(self.clock, delay, fn)
+
+    def every(
+        self, period: float, fn: Callable[[int], None], max_ticks: Optional[int] = None
+    ) -> PeriodicTimer:
+        """Periodic timer with the given virtual period."""
+        return PeriodicTimer(self.clock, period, fn, max_ticks=max_ticks)

@@ -1,0 +1,96 @@
+"""The virtual machine: a dilated container for a guest's node and stacks.
+
+A :class:`VirtualMachine` bundles the three guest-visible resources that
+dilation touches:
+
+* a :class:`~repro.core.clock.DilatedClock` — every timestamp the guest sees;
+* a :class:`~repro.core.timer.TimerService` — every timer the guest arms;
+* a :class:`~repro.core.cpu.VirtualCpu` — every cycle the guest burns.
+
+Attaching a :class:`~repro.simnet.node.Node` to a VM swaps that node's clock
+for the VM's dilated clock, which transparently dilates every protocol stack
+and application running on the node — the Python analogue of booting the OS
+inside the dilated Xen domain.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..simnet.engine import Simulator
+from ..simnet.errors import ConfigurationError
+from ..simnet.node import Node
+from .clock import DilatedClock
+from .cpu import VirtualCpu
+from .disk import VirtualDisk
+from .tdf import TDF, TdfLike, as_tdf
+from .timer import TimerService
+
+__all__ = ["VirtualMachine"]
+
+
+class VirtualMachine:
+    """A guest whose entire perception of time is governed by its TDF.
+
+    Construct through :meth:`repro.core.vmm.Hypervisor.create_vm`; the
+    hypervisor supplies the physical CPU rate and polices shares.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        tdf: TdfLike = 1,
+        host_cycles_per_second: float = 1e9,
+        cpu_share: float = 1.0,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.clock = DilatedClock(sim, tdf)
+        self.timers = TimerService(self.clock)
+        self.cpu = VirtualCpu(sim, host_cycles_per_second, cpu_share)
+        self.node: Optional[Node] = None
+        self.disk: Optional[VirtualDisk] = None
+        self._booted_at_physical = sim.now
+
+    @property
+    def tdf(self) -> TDF:
+        """The dilation factor currently in effect."""
+        return self.clock.tdf
+
+    def set_tdf(self, tdf: TdfLike) -> None:
+        """Change the dilation factor at runtime (continuous virtual time)."""
+        self.clock.set_tdf(tdf)
+
+    def attach_node(self, node: Node) -> None:
+        """Make ``node`` this VM's guest host: its clock becomes dilated."""
+        if self.node is not None:
+            raise ConfigurationError(f"VM {self.name} already has a node attached")
+        self.node = node
+        node.clock = self.clock
+
+    def attach_disk(self, disk: VirtualDisk) -> VirtualDisk:
+        """Give the guest a block device (perceived speed scales with TDF).
+
+        Pass ``throttle = 1/TDF`` on the disk to hold perceived disk speed
+        constant, mirroring the CPU-share compensation.
+        """
+        if self.disk is not None:
+            raise ConfigurationError(f"VM {self.name} already has a disk attached")
+        self.disk = disk
+        return disk
+
+    def uptime(self) -> float:
+        """Guest-perceived seconds since the VM was created."""
+        return self.clock.now()
+
+    def physical_uptime(self) -> float:
+        """Physical seconds since the VM was created."""
+        return self.sim.now - self._booted_at_physical
+
+    def perceived_cpu_speed(self) -> float:
+        """Apparent cycles per (virtual) second — ``host × share × TDF``."""
+        return self.cpu.perceived_cycles_per_second(self.clock)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualMachine({self.name}, tdf={self.tdf!r})"

@@ -1,0 +1,94 @@
+"""Terminal line charts for figure output.
+
+The paper's evaluation is figures, not tables; `line_chart` renders the
+same series as a monospace plot so `repro-figure` output *looks* like the
+paper's graphs. Multiple series get distinct glyphs; overlapping points
+(the whole point of the equivalence figures!) show the later series'
+glyph, which is why the legend lists baseline first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["line_chart"]
+
+_GLYPHS = "*o+x#@"
+
+Point = Tuple[float, float]
+
+
+def line_chart(
+    series: Dict[str, Sequence[Point]],
+    width: int = 60,
+    height: int = 14,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series as an ASCII scatter/line chart."""
+    if not series or all(not points for points in series.values()):
+        raise ValueError("line_chart needs at least one non-empty series")
+    if width < 10 or height < 4:
+        raise ValueError("chart too small to be legible")
+    xs = [x for points in series.values() for x, _ in points]
+    ys = [y for points in series.values() for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+    if y_high == y_low:
+        y_high = y_low + 1.0
+    # A little headroom so the top point isn't glued to the frame.
+    y_pad = 0.05 * (y_high - y_low)
+    y_low -= y_pad
+    y_high += y_pad
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(x: float, y: float, glyph: str) -> None:
+        col = round((x - x_low) / (x_high - x_low) * (width - 1))
+        row = round((y - y_low) / (y_high - y_low) * (height - 1))
+        grid[height - 1 - row][col] = glyph
+
+    legend = []
+    for index, (label, points) in enumerate(series.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        legend.append(f"{glyph} {label}")
+        ordered = sorted(points)
+        for (x0, y0), (x1, y1) in zip(ordered, ordered[1:]):
+            # Linear interpolation between consecutive points.
+            steps = max(
+                2,
+                round(abs(x1 - x0) / (x_high - x_low) * (width - 1)) + 1,
+            )
+            for step in range(steps):
+                t = step / (steps - 1)
+                plot(x0 + (x1 - x0) * t, y0 + (y1 - y0) * t, glyph)
+        for x, y in ordered:
+            plot(x, y, glyph)
+
+    lines = []
+    if y_label:
+        lines.append(y_label)
+    top = f"{y_high - y_pad:.6g}"
+    bottom = f"{y_low + y_pad:.6g}"
+    margin = max(len(top), len(bottom))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top.rjust(margin)
+        elif row_index == height - 1:
+            prefix = bottom.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix} |{''.join(row)}")
+    axis = " " * margin + " +" + "-" * width
+    lines.append(axis)
+    x_axis = (
+        " " * margin + "  " + f"{x_low:.6g}"
+        + f"{x_high:.6g}".rjust(width - len(f"{x_low:.6g}"))
+    )
+    lines.append(x_axis)
+    if x_label:
+        lines.append(" " * margin + "  " + x_label.center(width))
+    lines.append(" " * margin + "  " + "   ".join(legend))
+    return "\n".join(lines)

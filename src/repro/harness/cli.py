@@ -1,0 +1,82 @@
+"""``repro-figure`` — run paper experiments from the command line.
+
+Examples::
+
+    repro-figure --list
+    repro-figure fig3
+    repro-figure all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .figures import FIGURES, figure_ids, run_figure
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-figure",
+        description=(
+            "Reproduce the evaluation of 'To Infinity and Beyond: "
+            "Time-Warped Network Emulation' (NSDI 2006)."
+        ),
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        help="experiment ids to run (e.g. fig3 table1), or 'all'",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        help="also write each experiment's table to DIR/<id>.csv",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.list or not args.figures:
+        print("available experiments:")
+        for figure_id in figure_ids():
+            doc = (FIGURES[figure_id].__doc__ or "").strip().splitlines()[0]
+            print(f"  {figure_id:10s} {doc}")
+        return 0
+    requested = figure_ids() if args.figures == ["all"] else args.figures
+    failures = 0
+    for figure_id in requested:
+        if figure_id not in FIGURES:
+            print(f"unknown figure {figure_id!r}; use --list", file=sys.stderr)
+            return 2
+        started = time.time()
+        result = run_figure(figure_id)
+        elapsed = time.time() - started
+        print(result.render())
+        print(f"  ({elapsed:.1f} s wall)")
+        if args.csv:
+            import os
+
+            os.makedirs(args.csv, exist_ok=True)
+            path = result.write_csv(args.csv)
+            print(f"  csv: {path}")
+        print()
+        if not result.all_passed:
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) had failing checks", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,672 @@
+"""Experiment runners: the reusable machinery behind every figure.
+
+Each runner takes a **perceived** (target) network profile and a TDF,
+derives the physical configuration via
+:func:`repro.core.dilation.physical_for`, boots the guests under a
+:class:`~repro.core.vmm.Hypervisor`, drives a workload for a fixed span of
+*virtual* time, and reports metrics in virtual units. Running the same
+function with ``tdf=1`` produces the scaled baseline the paper validates
+against, with identical RNG streams, so results are comparable point by
+point.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..apps.bittorrent import PeerConfig, TorrentMeta, build_swarm
+from ..apps.crosstraffic import CbrSource, UdpSink
+from ..apps.httpclient import OpenLoopHttpLoad
+from ..apps.httpd import WebServer
+from ..apps.iperf import IperfClient, IperfServer
+from ..core.dilation import NetworkProfile, physical_for
+from ..core.tdf import TdfLike, as_tdf
+from ..core.vmm import Hypervisor
+from ..simnet.queues import DropTailQueue
+from ..simnet.topology import Network, build_dumbbell
+from ..simnet.trace import PacketTrace
+from ..tcp.options import TcpOptions
+from ..tcp.stack import TcpStack
+from ..udp.socket import UdpStack
+from ..workloads.specweb import SpecWebMix
+
+__all__ = [
+    "BulkFlowResult",
+    "WebResult",
+    "BitTorrentResult",
+    "CpuResult",
+    "CrossTrafficResult",
+    "ConsolidationResult",
+    "run_bulk",
+    "run_web",
+    "run_bittorrent",
+    "run_cpu_task",
+    "run_bulk_with_cross_traffic",
+    "run_consolidated",
+    "default_queue_packets",
+    "relative_error",
+]
+
+#: Frame size used for queue-sizing arithmetic (MSS + headers).
+FRAME_BYTES = 1500
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """|measured - reference| / |reference| (0 when both are 0)."""
+    if reference == 0:
+        return 0.0 if measured == 0 else float("inf")
+    return abs(measured - reference) / abs(reference)
+
+
+def default_queue_packets(physical: NetworkProfile,
+                          frame_bytes: int = FRAME_BYTES) -> int:
+    """Queue sized at one bandwidth-delay product (standard provisioning).
+
+    Note the BDP in *packets* is dilation-invariant: physical bandwidth
+    shrinks by k while physical RTT grows by k, so the same queue depth is
+    correct for a dilated run and its baseline — exactly as the paper kept
+    one dummynet queue configuration across TDFs. ``frame_bytes`` must
+    match the flow's actual frame size or the buffer is mis-provisioned
+    (a 1500-byte sizing under 9000-byte jumbo frames yields a 6x-BDP
+    bufferbloat queue whose delay trips spurious RTOs).
+    """
+    bdp_bytes = physical.bandwidth_bps * physical.rtt_s / 8
+    return int(min(max(bdp_bytes / frame_bytes, 20), 4000))
+
+
+# ===================================================================== bulk TCP
+
+
+@dataclass
+class BulkFlowResult:
+    """Metrics from a bulk-transfer (iperf) run, in virtual units."""
+
+    goodput_bps: float
+    per_flow_goodput_bps: List[float]
+    delivered_bytes: int
+    retransmits: int
+    timeouts: int
+    srtt: Optional[float]
+    segments_sent: int
+    interarrivals: List[float] = field(default_factory=list)
+
+
+def run_bulk(
+    perceived: NetworkProfile,
+    tdf: TdfLike,
+    duration_s: float,
+    flows: int = 1,
+    flavor: str = "newreno",
+    queue_packets: Optional[int] = None,
+    warmup_s: float = 0.0,
+    collect_interarrivals: bool = False,
+    sack: bool = True,
+    mss: int = 1460,
+) -> BulkFlowResult:
+    """Bulk TCP over a dilated dumbbell; goodput in virtual bits/second.
+
+    ``duration_s`` and ``warmup_s`` are virtual seconds; the physical run
+    is ``tdf`` times longer, exactly as the paper's dilated experiments
+    took TDF-times the wall-clock time.
+    """
+    factor = as_tdf(tdf)
+    physical = physical_for(perceived, factor)
+    access_physical = physical_for(
+        NetworkProfile(perceived.bandwidth_bps * 10, 1e-5), factor
+    )
+    queue = (
+        queue_packets
+        if queue_packets is not None
+        else default_queue_packets(physical, frame_bytes=mss + 40)
+    )
+    bell = build_dumbbell(
+        pairs=flows,
+        access_bandwidth_bps=access_physical.bandwidth_bps,
+        bottleneck_bandwidth_bps=physical.bandwidth_bps,
+        bottleneck_delay_s=physical.delay_s,
+        access_delay_s=access_physical.delay_s,
+        queue_factory=lambda: DropTailQueue(capacity_packets=queue),
+    )
+    net = bell.network
+    vmm = Hypervisor(net.sim)
+    share = 1.0 / (2 * flows)
+    # Size the receive window to never be the bottleneck (the paper's
+    # guests relied on window scaling for the same reason).
+    receive_buffer = max(1 << 20, int(perceived.bandwidth_delay_product_bits / 2))
+    options = TcpOptions(flavor=flavor, sack=sack, mss=mss,
+                         receive_buffer=receive_buffer)
+    servers: List[IperfServer] = []
+    clients: List[IperfClient] = []
+    receiver_vm = None
+    for index in range(flows):
+        vmm.create_vm(f"snd{index}", tdf=factor, cpu_share=share,
+                      node=bell.senders[index])
+        vm = vmm.create_vm(f"rcv{index}", tdf=factor, cpu_share=share,
+                           node=bell.receivers[index])
+        if index == 0:
+            receiver_vm = vm
+        servers.append(IperfServer(TcpStack(bell.receivers[index]), options=options))
+        # Never let the transfer finish inside the measurement window: queue
+        # twice what the perceived path could move in the whole run.
+        transfer_bytes = int(perceived.bandwidth_bps * duration_s / 8 * 2) + (1 << 20)
+        clients.append(
+            IperfClient(
+                TcpStack(bell.senders[index]),
+                bell.receivers[index].name,
+                total_bytes=transfer_bytes,
+                options=options,
+                flow_id=f"flow{index}",
+            )
+        )
+    trace = None
+    if collect_interarrivals:
+        trace = PacketTrace(
+            bell.receiver_links[0].b_to_a, kinds=("rx",), flow_id="flow0"
+        )
+    for client in clients:
+        client.start()
+    assert receiver_vm is not None
+    warmup_bytes = [0] * flows
+    if warmup_s > 0:
+        net.run(until=receiver_vm.clock.to_physical(warmup_s))
+        warmup_bytes = [server.total_bytes for server in servers]
+        if trace is not None:
+            trace.records.clear()
+    net.run(until=receiver_vm.clock.to_physical(duration_s))
+    span = duration_s - warmup_s
+    per_flow = [
+        (server.total_bytes - start) * 8 / span
+        for server, start in zip(servers, warmup_bytes)
+    ]
+    delivered = sum(server.total_bytes - start
+                    for server, start in zip(servers, warmup_bytes))
+    interarrivals: List[float] = []
+    if trace is not None:
+        interarrivals = trace.interarrivals(receiver_vm.clock)
+    first = clients[0].socket
+    return BulkFlowResult(
+        goodput_bps=sum(per_flow),
+        per_flow_goodput_bps=per_flow,
+        delivered_bytes=delivered,
+        retransmits=sum(c.socket.retransmits for c in clients if c.socket),
+        timeouts=sum(c.socket.timeouts for c in clients if c.socket),
+        srtt=first.rtt.srtt if first is not None else None,
+        segments_sent=sum(c.socket.segments_sent for c in clients if c.socket),
+        interarrivals=interarrivals,
+    )
+
+
+# ========================================================================= web
+
+
+@dataclass
+class WebResult:
+    """Metrics from one web-load run, in virtual units."""
+
+    offered_rps: float
+    issued: int
+    completed: int
+    failed: int
+    throughput_rps: float
+    mean_latency_s: float
+    p95_latency_s: float
+    bytes_received: int
+
+
+def run_web(
+    perceived: NetworkProfile,
+    tdf: TdfLike,
+    rate_rps: float,
+    duration_s: float,
+    seed: int,
+    host_cycles_per_second: float = 1e9,
+    scale_cpu: bool = False,
+    drain_s: float = 2.0,
+) -> WebResult:
+    """SPECweb-like open-loop load against the dilated web server.
+
+    ``scale_cpu=False`` (default) compensates the server's CPU share so the
+    guest perceives a constant-speed CPU while the network dilates — the
+    paper's recipe for scaling resources independently. ``scale_cpu=True``
+    lets the CPU dilate along with everything else.
+    """
+    factor = as_tdf(tdf)
+    physical = physical_for(perceived, factor)
+    net = Network()
+    server_node = net.add_node("www")
+    client_node = net.add_node("client")
+    net.add_link(
+        server_node, client_node, physical.bandwidth_bps, physical.delay_s,
+        queue_factory=lambda: DropTailQueue(
+            capacity_packets=default_queue_packets(physical)
+        ),
+    )
+    net.finalize()
+    vmm = Hypervisor(net.sim, host_cycles_per_second=host_cycles_per_second)
+    server_share = 0.5 if scale_cpu else min(0.5, 0.5 / float(factor.value))
+    server_vm = vmm.create_vm("www-vm", tdf=factor, cpu_share=server_share,
+                              node=server_node)
+    vmm.create_vm("client-vm", tdf=factor, cpu_share=0.25, node=client_node)
+    mix = SpecWebMix(rng=random.Random(seed))
+    WebServer(TcpStack(server_node), mix, cpu=server_vm.cpu)
+    load = OpenLoopHttpLoad(
+        TcpStack(client_node),
+        "www",
+        rate_per_second=rate_rps,
+        mix=SpecWebMix(rng=random.Random(seed + 1)),
+        rng=random.Random(seed + 2),
+        duration_s=duration_s,
+    )
+    load.start()
+    net.run(until=server_vm.clock.to_physical(duration_s + drain_s))
+    samples = load.latency.samples
+    p95 = 0.0
+    if samples:
+        from ..stats.cdf import percentile
+
+        p95 = percentile(samples, 95)
+    return WebResult(
+        offered_rps=rate_rps,
+        issued=load.issued,
+        completed=load.completed,
+        failed=load.failed,
+        throughput_rps=load.completed / duration_s,
+        mean_latency_s=load.latency.summary.mean,
+        p95_latency_s=p95,
+        bytes_received=load.bytes_received,
+    )
+
+
+# ================================================================== BitTorrent
+
+
+@dataclass
+class BitTorrentResult:
+    """Swarm metrics in virtual units."""
+
+    download_times_s: List[float]
+    completed: int
+    leechers: int
+    seed_uploaded_bytes: int
+    total_downloaded_bytes: int
+
+
+def run_bittorrent(
+    perceived_leaf: NetworkProfile,
+    tdf: TdfLike,
+    leechers: int,
+    file_bytes: int,
+    seed: int,
+    piece_bytes: int = 65536,
+    horizon_s: float = 600.0,
+    choke_interval_s: float = 5.0,
+) -> BitTorrentResult:
+    """A one-seed swarm on a dilated star; download times in virtual seconds."""
+    factor = as_tdf(tdf)
+    physical = physical_for(perceived_leaf, factor)
+    net = Network()
+    hub = net.add_node("hub")
+    leaf_count = leechers + 2  # tracker + seed
+    leaves = []
+    for index in range(leaf_count):
+        leaf = net.add_node(f"h{index}")
+        net.add_link(
+            leaf, hub, physical.bandwidth_bps, physical.delay_s,
+            queue_factory=lambda: DropTailQueue(
+                capacity_packets=default_queue_packets(physical)
+            ),
+        )
+        leaves.append(leaf)
+    net.finalize()
+    vmm = Hypervisor(net.sim)
+    share = 1.0 / leaf_count
+    vms = [
+        vmm.create_vm(f"vm{index}", tdf=factor, cpu_share=share, node=leaf)
+        for index, leaf in enumerate(leaves)
+    ]
+    meta = TorrentMeta(name="bench.torrent", total_bytes=file_bytes,
+                       piece_size=piece_bytes)
+    swarm = build_swarm(
+        tracker_node=leaves[0],
+        seed_nodes=[leaves[1]],
+        leecher_nodes=leaves[2:],
+        meta=meta,
+        rng=random.Random(seed),
+        config=PeerConfig(choke_interval_s=choke_interval_s,
+                          stall_timeout_s=4 * choke_interval_s),
+    )
+    swarm.start()
+    clock = vms[0].clock
+    step = 5.0
+    elapsed = 0.0
+    while not swarm.all_complete() and elapsed < horizon_s:
+        elapsed = min(horizon_s, elapsed + step)
+        net.run(until=clock.to_physical(elapsed))
+    return BitTorrentResult(
+        download_times_s=sorted(swarm.download_times()),
+        completed=sum(1 for p in swarm.leechers if p.complete),
+        leechers=leechers,
+        seed_uploaded_bytes=swarm.seeds[0].bytes_uploaded,
+        total_downloaded_bytes=sum(p.bytes_downloaded for p in swarm.leechers),
+    )
+
+
+# ========================================================== cross traffic
+
+
+@dataclass
+class CrossTrafficResult:
+    """Metrics from a TCP flow competing with UDP cross traffic."""
+
+    tcp_goodput_bps: float
+    cross_rate_bps: float
+    tcp_retransmits: int
+
+
+def run_bulk_with_cross_traffic(
+    perceived: NetworkProfile,
+    tdf: TdfLike,
+    duration_s: float,
+    cross_fraction: float = 0.3,
+    warmup_s: float = 1.0,
+) -> CrossTrafficResult:
+    """One TCP flow sharing the bottleneck with a CBR stream.
+
+    ``cross_fraction`` is the CBR source's share of the perceived
+    bottleneck; TCP should settle near the remainder. The generator runs
+    inside a dilated guest like everything else, so the dilated and
+    baseline runs offer identical (virtual-time) background load.
+    """
+    factor = as_tdf(tdf)
+    physical = physical_for(perceived, factor)
+    access_physical = physical_for(
+        NetworkProfile(perceived.bandwidth_bps * 10, 1e-5), factor
+    )
+    bell = build_dumbbell(
+        pairs=2,
+        access_bandwidth_bps=access_physical.bandwidth_bps,
+        bottleneck_bandwidth_bps=physical.bandwidth_bps,
+        bottleneck_delay_s=physical.delay_s,
+        access_delay_s=access_physical.delay_s,
+        queue_factory=lambda: DropTailQueue(
+            capacity_packets=default_queue_packets(physical)
+        ),
+    )
+    net = bell.network
+    vmm = Hypervisor(net.sim)
+    vms = []
+    for index in range(2):
+        vms.append(vmm.create_vm(f"snd{index}", tdf=factor, cpu_share=0.2,
+                                 node=bell.senders[index]))
+        vms.append(vmm.create_vm(f"rcv{index}", tdf=factor, cpu_share=0.2,
+                                 node=bell.receivers[index]))
+    options = TcpOptions()
+    server = IperfServer(TcpStack(bell.receivers[0]), options=options)
+    transfer = int(perceived.bandwidth_bps * duration_s / 8 * 2) + (1 << 20)
+    client = IperfClient(
+        TcpStack(bell.senders[0]), bell.receivers[0].name,
+        total_bytes=transfer, options=options,
+    )
+    sink = UdpSink(UdpStack(bell.receivers[1]), 9000)
+    cross = CbrSource(
+        UdpStack(bell.senders[1]), bell.receivers[1].name, 9000,
+        rate_bps=perceived.bandwidth_bps * cross_fraction,  # virtual rate
+        packet_bytes=1000,
+    )
+    client.start()
+    cross.start()
+    receiver_vm = vms[1]
+    net.run(until=receiver_vm.clock.to_physical(warmup_s))
+    tcp_at_warmup = server.total_bytes
+    cross_at_warmup = sink.bytes_received
+    net.run(until=receiver_vm.clock.to_physical(duration_s))
+    span = duration_s - warmup_s
+    return CrossTrafficResult(
+        tcp_goodput_bps=(server.total_bytes - tcp_at_warmup) * 8 / span,
+        cross_rate_bps=(sink.bytes_received - cross_at_warmup) * 8 / span,
+        tcp_retransmits=client.socket.retransmits if client.socket else 0,
+    )
+
+
+# ========================================================== VM consolidation
+
+
+@dataclass
+class ConsolidationResult:
+    """Metrics from several dilated guests multiplexed on one machine."""
+
+    per_guest_goodput_bps: List[float]
+    aggregate_goodput_bps: float
+
+
+def run_consolidated(
+    perceived_uplink: NetworkProfile,
+    tdf: TdfLike,
+    guests: int,
+    duration_s: float,
+    warmup_s: float = 1.0,
+) -> ConsolidationResult:
+    """Several dilated guests on one physical machine, sharing its uplink.
+
+    The paper multiplexed multiple dilated VMs per physical host; the key
+    property is that contention for the machine's shared NIC is perceived
+    consistently. Topology: ``guests`` sender VMs bridge through a machine
+    node whose single uplink (the perceived profile, rescaled) carries all
+    their traffic to distinct receivers.
+    """
+    factor = as_tdf(tdf)
+    physical = physical_for(perceived_uplink, factor)
+    fast = physical_for(
+        NetworkProfile(perceived_uplink.bandwidth_bps * 10, 1e-5), factor
+    )
+    net = Network()
+    machine = net.add_node("machine")
+    switch = net.add_node("switch")
+    net.add_link(
+        machine, switch, physical.bandwidth_bps, physical.delay_s,
+        queue_factory=lambda: DropTailQueue(
+            capacity_packets=default_queue_packets(physical)
+        ),
+    )
+    vmm = Hypervisor(net.sim)
+    share = 1.0 / (guests + 1)
+    servers: List[IperfServer] = []
+    transfer = int(perceived_uplink.bandwidth_bps * duration_s / 8 * 2) + (1 << 20)
+    guest_nodes = []
+    receiver_nodes = []
+    for index in range(guests):
+        guest = net.add_node(f"guest{index}")
+        receiver = net.add_node(f"sink{index}")
+        # Virtual NIC to the machine's bridge: fast, negligible delay.
+        net.add_link(guest, machine, fast.bandwidth_bps, fast.delay_s)
+        net.add_link(switch, receiver, fast.bandwidth_bps, fast.delay_s)
+        guest_nodes.append(guest)
+        receiver_nodes.append(receiver)
+    net.finalize()
+    reference_vm = None
+    clients = []
+    for index in range(guests):
+        vmm.create_vm(f"vm{index}", tdf=factor, cpu_share=share,
+                      node=guest_nodes[index])
+        vm = vmm.create_vm(f"vm-sink{index}", tdf=factor,
+                           cpu_share=share / max(1, guests),
+                           node=receiver_nodes[index])
+        if index == 0:
+            reference_vm = vm
+        servers.append(IperfServer(TcpStack(receiver_nodes[index])))
+        clients.append(IperfClient(
+            TcpStack(guest_nodes[index]), receiver_nodes[index].name,
+            total_bytes=transfer,
+        ))
+    for client in clients:
+        client.start()
+    assert reference_vm is not None
+    net.run(until=reference_vm.clock.to_physical(warmup_s))
+    at_warmup = [server.total_bytes for server in servers]
+    net.run(until=reference_vm.clock.to_physical(duration_s))
+    span = duration_s - warmup_s
+    per_guest = [
+        (server.total_bytes - start) * 8 / span
+        for server, start in zip(servers, at_warmup)
+    ]
+    return ConsolidationResult(
+        per_guest_goodput_bps=per_guest,
+        aggregate_goodput_bps=sum(per_guest),
+    )
+
+
+# ============================================================= guest programs
+
+
+@dataclass
+class BuildJobResult:
+    """Phase timings of the mixed-resource guest program, virtual seconds."""
+
+    disk_read_s: float
+    compute_s: float
+    disk_write_s: float
+    network_s: float
+    total_s: float
+
+
+def run_guest_build_job(
+    perceived_net: NetworkProfile,
+    tdf: TdfLike,
+    compensate: bool = True,
+    host_cycles_per_second: float = 1e9,
+    disk_bandwidth: float = 100e6,
+    read_bytes: int = 20 << 20,
+    compute_cycles: float = 2e9,
+    write_bytes: int = 5 << 20,
+    upload_bytes: int = 10 << 20,
+) -> BuildJobResult:
+    """A "build server" job touching every dilated resource in sequence:
+    read sources from disk → compile (CPU) → write the artifact → upload
+    it over TCP. Timed phase by phase with the guest's own clock.
+
+    ``compensate=True`` throttles CPU and disk by 1/TDF so only the
+    network dilates (the paper's independent-scaling recipe); with
+    ``compensate=False`` every resource appears TDF-times faster.
+    """
+    from ..core.disk import VirtualDisk
+    from ..core.guest import (
+        CloseSock,
+        Compute,
+        Connect,
+        DiskRead,
+        DiskWrite,
+        Flush,
+        GuestKernel,
+        Now,
+        SendOn,
+    )
+
+    factor = as_tdf(tdf)
+    physical = physical_for(perceived_net, factor)
+    net = Network()
+    builder = net.add_node("builder")
+    server = net.add_node("artifacts")
+    net.add_link(
+        builder, server, physical.bandwidth_bps, physical.delay_s,
+        queue_factory=lambda: DropTailQueue(
+            capacity_packets=default_queue_packets(physical)
+        ),
+    )
+    net.finalize()
+    vmm = Hypervisor(net.sim, host_cycles_per_second=host_cycles_per_second)
+    scale = 1.0 / float(factor.value) if compensate else 1.0
+    vm = vmm.create_vm("builder-vm", tdf=factor,
+                       cpu_share=min(0.5, 0.5 * scale), node=builder)
+    # The throttle alone compensates: it stretches both positioning and
+    # transfer by TDF physically, so the guest perceives them unchanged.
+    vm.attach_disk(VirtualDisk(
+        net.sim, bandwidth_bytes_per_s=disk_bandwidth,
+        positioning_delay_s=0.004,
+        throttle=min(1.0, scale),
+    ))
+    vmm.create_vm("server-vm", tdf=factor, cpu_share=0.25, node=server)
+    kernel = GuestKernel(vm)
+    kernel.use_tcp(TcpStack(builder))
+    server_stack = TcpStack(server)
+    server_stack.listen(80, lambda s: None)
+    marks: Dict[str, float] = {}
+
+    def job():
+        # The whole pipeline is one guest program: disk, CPU and network
+        # syscalls all resolve against the VM's dilated resources.
+        marks["start"] = yield Now()
+        yield DiskRead(read_bytes)
+        marks["read_done"] = yield Now()
+        yield Compute(compute_cycles)
+        marks["compute_done"] = yield Now()
+        yield DiskWrite(write_bytes)
+        marks["write_done"] = yield Now()
+        sock = yield Connect("artifacts", 80)
+        yield SendOn(sock, upload_bytes)
+        yield Flush(sock)
+        yield CloseSock(sock)
+        marks["upload_done"] = yield Now()
+
+    process = kernel.spawn(job())
+    horizon_virtual = 600.0
+    net.run(until=vm.clock.to_physical(horizon_virtual))
+    if process.error is not None:
+        raise process.error
+    if "upload_done" not in marks:
+        raise SimulationErrorForBuildJob(marks, {})
+    return BuildJobResult(
+        disk_read_s=marks["read_done"] - marks["start"],
+        compute_s=marks["compute_done"] - marks["read_done"],
+        disk_write_s=marks["write_done"] - marks["compute_done"],
+        network_s=marks["upload_done"] - marks["write_done"],
+        total_s=marks["upload_done"] - marks["start"],
+    )
+
+
+class SimulationErrorForBuildJob(RuntimeError):
+    """The build job did not finish within the experiment horizon."""
+
+    def __init__(self, marks, received):
+        super().__init__(
+            f"build job incomplete: marks={marks}, received={received}"
+        )
+
+
+# ========================================================================= CPU
+
+
+@dataclass
+class CpuResult:
+    """A fixed-cycle task's timing under a dilation/share combination."""
+
+    virtual_duration_s: float
+    physical_duration_s: float
+    perceived_speedup: float
+
+
+def run_cpu_task(
+    tdf: TdfLike,
+    cpu_share: float,
+    cycles: float = 2e9,
+    host_cycles_per_second: float = 1e9,
+) -> CpuResult:
+    """Time one CPU-bound task as the guest sees it (Table 2)."""
+    net = Network()
+    vmm = Hypervisor(net.sim, host_cycles_per_second=host_cycles_per_second)
+    vm = vmm.create_vm("cpu-vm", tdf=tdf, cpu_share=cpu_share)
+    done = {}
+
+    def on_complete():
+        done["virtual"] = vm.clock.now()
+        done["physical"] = net.sim.now
+
+    vm.cpu.run(cycles, on_complete=on_complete)
+    net.run()
+    nominal = cycles / host_cycles_per_second
+    return CpuResult(
+        virtual_duration_s=done["virtual"],
+        physical_duration_s=done["physical"],
+        perceived_speedup=nominal / done["virtual"],
+    )

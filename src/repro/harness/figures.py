@@ -1,0 +1,798 @@
+"""The per-figure experiment registry.
+
+One function per table/figure of the paper's evaluation (reconstructed —
+see DESIGN.md's mismatch note). Each returns a
+:class:`~repro.harness.report.FigureResult` carrying the paper-style rows
+plus machine-checked *shape* assertions: dilated-vs-baseline agreement,
+who wins, where knees fall. Benchmarks and the CLI both consume this
+registry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..core.dilation import (
+    NetworkProfile,
+    cpu_share_for_constant_speed,
+    resource_scaling_rows,
+)
+from ..simnet.units import format_rate, format_time, gbps, mbps, ms
+from ..stats.cdf import ks_distance, percentile
+from .ascii_chart import line_chart
+from .experiments import (
+    relative_error,
+    run_bittorrent,
+    run_bulk,
+    run_bulk_with_cross_traffic,
+    run_consolidated,
+    run_cpu_task,
+    run_guest_build_job,
+    run_web,
+)
+from .report import FigureResult, Table
+
+__all__ = ["FIGURES", "figure_ids", "run_figure"]
+
+#: Agreement tolerance between a dilated run and its scaled baseline.
+#: The substrate is deterministic, so this is float-jitter headroom only.
+EQUIVALENCE_TOLERANCE = 0.02
+
+
+def table1_resource_scaling() -> FigureResult:
+    """Table 1: what a fixed physical testbed looks like under dilation."""
+    physical = NetworkProfile(mbps(100), ms(10), cpu_cycles_per_second=1e9)
+    rows = resource_scaling_rows(physical, tdfs=[1, 10, 100, 1000])
+    table = Table(
+        ["TDF", "physical b/w", "perceived b/w", "physical delay",
+         "perceived delay", "perceived CPU"],
+        title="Perceived resources of a 100 Mbps / 10 ms / 1 GHz testbed",
+    )
+    for row in rows:
+        table.add_row(
+            str(row.tdf.value),
+            format_rate(row.physical_bandwidth_bps),
+            format_rate(row.perceived_bandwidth_bps),
+            format_time(row.physical_delay_s),
+            format_time(row.perceived_delay_s),
+            f"{row.perceived_cpu_cycles_per_second / 1e9:.1f} GHz",
+        )
+    result = FigureResult("table1", "Resource scaling under time dilation", table)
+    result.check(
+        "perceived bandwidth grows linearly in TDF",
+        rows[1].perceived_bandwidth_bps == 10 * rows[0].perceived_bandwidth_bps
+        and rows[2].perceived_bandwidth_bps == 100 * rows[0].perceived_bandwidth_bps,
+    )
+    result.check(
+        "perceived delay shrinks linearly in TDF",
+        abs(rows[1].perceived_delay_s * 10 - rows[0].perceived_delay_s) < 1e-12,
+    )
+    result.check(
+        "TDF 1000 pushes a 100 Mbps testbed past 100 Gbps ('to infinity')",
+        rows[3].perceived_bandwidth_bps >= 100e9,
+    )
+    return result
+
+
+def table2_cpu_dilation() -> FigureResult:
+    """Table 2: CPU-bound task timing with and without share compensation."""
+    table = Table(
+        ["TDF", "VMM share", "virtual time", "physical time",
+         "perceived speedup"],
+        title="2e9-cycle task on a 1 GHz host (nominal 2.0 s)",
+    )
+    cases = []
+    for tdf in (1, 2, 10):
+        for share in (1.0, cpu_share_for_constant_speed(tdf)):
+            result = run_cpu_task(tdf, share)
+            cases.append((tdf, share, result))
+            table.add_row(
+                tdf, f"{share:.2f}",
+                f"{result.virtual_duration_s:.3f} s",
+                f"{result.physical_duration_s:.3f} s",
+                f"{result.perceived_speedup:.1f}x",
+            )
+    figure = FigureResult("table2", "CPU dilation and compensation", table)
+    full_share = {tdf: r for tdf, share, r in cases if share == 1.0}
+    compensated = {
+        tdf: r for tdf, share, r in cases
+        if abs(share - cpu_share_for_constant_speed(tdf)) < 1e-9
+    }
+    figure.check(
+        "full share: guest sees CPU k-times faster",
+        all(
+            abs(full_share[tdf].perceived_speedup - tdf) < 1e-6
+            for tdf in (1, 2, 10)
+        ),
+    )
+    figure.check(
+        "1/k share: perceived CPU speed is constant",
+        all(
+            abs(compensated[tdf].perceived_speedup - 1.0) < 1e-6
+            for tdf in (1, 2, 10)
+        ),
+    )
+    figure.check(
+        "physical time at full share is unchanged by dilation",
+        all(
+            abs(full_share[tdf].physical_duration_s - 2.0) < 1e-9
+            for tdf in (1, 2, 10)
+        ),
+    )
+    return figure
+
+
+def fig3_throughput_vs_rtt() -> FigureResult:
+    """Figure 3: TCP throughput vs RTT; dilated curves coincide with TDF 1."""
+    rtts_ms = [10, 20, 40, 80, 160]
+    tdfs = [1, 10, 100]
+    table = Table(
+        ["RTT (ms)"] + [f"TDF {k} (Mbps)" for k in tdfs] + ["max rel err"],
+        title="TCP goodput vs perceived RTT (perceived bottleneck 100 Mbps)",
+    )
+    figure = FigureResult("fig3", "Throughput vs RTT under dilation", table)
+    curve: Dict[int, List[float]] = {k: [] for k in tdfs}
+    for rtt in rtts_ms:
+        perceived = NetworkProfile.from_rtt(mbps(100), ms(rtt))
+        results = {
+            k: run_bulk(perceived, k, duration_s=6.0, warmup_s=2.0)
+            for k in tdfs
+        }
+        base = results[1].goodput_bps
+        worst = max(relative_error(results[k].goodput_bps, base) for k in tdfs)
+        table.add_row(
+            rtt,
+            *(f"{results[k].goodput_bps / 1e6:.2f}" for k in tdfs),
+            f"{worst * 100:.3f}%",
+        )
+        for k in tdfs:
+            curve[k].append(results[k].goodput_bps)
+        figure.check(
+            f"RTT {rtt} ms: dilated goodput within "
+            f"{EQUIVALENCE_TOLERANCE:.0%} of baseline",
+            worst <= EQUIVALENCE_TOLERANCE,
+        )
+    figure.check(
+        "goodput does not improve as RTT grows (TCP's RTT penalty)",
+        curve[1][0] > curve[1][-1],
+    )
+    figure.chart = line_chart(
+        {
+            f"TDF {k}": list(zip(rtts_ms, (v / 1e6 for v in curve[k])))
+            for k in tdfs
+        },
+        x_label="perceived RTT (ms)",
+        y_label="goodput (Mbps) — the curves overprint: that IS the result",
+    )
+    figure.notes.append(
+        "paper shape: all three TDF curves lie on top of each other; "
+        "absolute goodput declines with RTT"
+    )
+    return figure
+
+
+def fig4_throughput_vs_bandwidth() -> FigureResult:
+    """Figure 4: TCP throughput vs perceived bottleneck bandwidth."""
+    bandwidths_mbps = [1, 10, 50, 200]
+    tdfs = [1, 10, 100]
+    table = Table(
+        ["perceived b/w (Mbps)"] + [f"TDF {k} (Mbps)" for k in tdfs]
+        + ["max rel err"],
+        title="TCP goodput vs perceived bandwidth (perceived RTT 40 ms)",
+    )
+    figure = FigureResult("fig4", "Throughput vs bandwidth under dilation", table)
+    baseline_curve = []
+    for bandwidth in bandwidths_mbps:
+        perceived = NetworkProfile.from_rtt(mbps(bandwidth), ms(40))
+        results = {
+            k: run_bulk(perceived, k, duration_s=5.0, warmup_s=2.0)
+            for k in tdfs
+        }
+        base = results[1].goodput_bps
+        baseline_curve.append(base)
+        worst = max(relative_error(results[k].goodput_bps, base) for k in tdfs)
+        table.add_row(
+            bandwidth,
+            *(f"{results[k].goodput_bps / 1e6:.2f}" for k in tdfs),
+            f"{worst * 100:.3f}%",
+        )
+        figure.check(
+            f"{bandwidth} Mbps: dilated within {EQUIVALENCE_TOLERANCE:.0%}",
+            worst <= EQUIVALENCE_TOLERANCE,
+        )
+        figure.check(
+            f"{bandwidth} Mbps: goodput attains >=60% of the bottleneck",
+            base >= 0.6 * mbps(bandwidth),
+        )
+    figure.check(
+        "goodput increases with bottleneck bandwidth",
+        all(a < b for a, b in zip(baseline_curve, baseline_curve[1:])),
+    )
+    figure.chart = line_chart(
+        {
+            "achieved (all TDFs coincide)": [
+                (bw, v / 1e6)
+                for bw, v in zip(bandwidths_mbps, baseline_curve)
+            ],
+            "line rate": [(bw, float(bw)) for bw in bandwidths_mbps],
+        },
+        x_label="perceived bottleneck (Mbps)",
+        y_label="goodput (Mbps)",
+    )
+    return figure
+
+
+def fig5_interarrival_distribution() -> FigureResult:
+    """Figure 5: packet interarrival distribution preserved under dilation."""
+    perceived = NetworkProfile.from_rtt(mbps(10), ms(40))
+    tdfs = [1, 10, 100]
+    runs = {
+        k: run_bulk(perceived, k, duration_s=4.0, warmup_s=1.0,
+                    collect_interarrivals=True)
+        for k in tdfs
+    }
+    table = Table(
+        ["percentile"] + [f"TDF {k} (us)" for k in tdfs],
+        title="Sink packet interarrival times, virtual microseconds",
+    )
+    figure = FigureResult("fig5", "Interarrival distribution under dilation", table)
+    for q in (10, 25, 50, 75, 90, 99):
+        table.add_row(
+            f"p{q}",
+            *(
+                f"{percentile(runs[k].interarrivals, q) * 1e6:.1f}"
+                for k in tdfs
+            ),
+        )
+    for k in (10, 100):
+        distance = ks_distance(runs[1].interarrivals, runs[k].interarrivals)
+        figure.check(
+            f"KS distance TDF {k} vs baseline < 0.02 (got {distance:.4f})",
+            distance < 0.02,
+        )
+    median = percentile(runs[1].interarrivals, 50)
+    expected = 1500 * 8 / perceived.bandwidth_bps  # full frame at line rate
+    figure.check(
+        "median interarrival matches bottleneck serialisation time ±20%",
+        abs(median - expected) / expected < 0.2,
+    )
+    figure.notes.append(
+        f"expected full-frame spacing at 10 Mbps: {expected * 1e6:.0f} us"
+    )
+    return figure
+
+
+def _jain(values: List[float]) -> float:
+    if not values:
+        return 0.0
+    return sum(values) ** 2 / (len(values) * sum(v * v for v in values))
+
+
+def fig6_multiflow_fairness() -> FigureResult:
+    """Figure 6: bottleneck sharing among competing flows is preserved."""
+    perceived = NetworkProfile.from_rtt(mbps(50), ms(20))
+    tdfs = [1, 10]
+    flows = 4
+    runs = {
+        k: run_bulk(perceived, k, duration_s=8.0, warmup_s=2.0, flows=flows)
+        for k in tdfs
+    }
+    table = Table(
+        ["flow"] + [f"TDF {k} (Mbps)" for k in tdfs],
+        title="Per-flow goodput, 4 flows through a 50 Mbps bottleneck",
+    )
+    figure = FigureResult("fig6", "Multi-flow fairness under dilation", table)
+    for index in range(flows):
+        table.add_row(
+            index,
+            *(f"{runs[k].per_flow_goodput_bps[index] / 1e6:.2f}" for k in tdfs),
+        )
+    jains = {k: _jain(runs[k].per_flow_goodput_bps) for k in tdfs}
+    table.add_row("Jain", *(f"{jains[k]:.4f}" for k in tdfs))
+    aggregate_err = relative_error(runs[10].goodput_bps, runs[1].goodput_bps)
+    figure.check(
+        "aggregate goodput matches baseline",
+        aggregate_err <= EQUIVALENCE_TOLERANCE,
+    )
+    per_flow_err = max(
+        relative_error(d, b)
+        for d, b in zip(runs[10].per_flow_goodput_bps, runs[1].per_flow_goodput_bps)
+    )
+    figure.check(
+        f"every flow's share matches baseline (max err {per_flow_err:.4f})",
+        per_flow_err <= EQUIVALENCE_TOLERANCE,
+    )
+    figure.check(
+        f"sharing is reasonably fair (Jain {jains[1]:.3f} >= 0.8)",
+        jains[1] >= 0.8,
+    )
+    figure.check(
+        "bottleneck is saturated by the aggregate",
+        runs[1].goodput_bps >= 0.7 * mbps(50),
+    )
+    return figure
+
+
+#: Offered loads swept by fig7/fig8. With a 1e8-cycle/s host, a 0.5 VMM
+#: share and ~2.1e6 cycles per request, the server's CPU service ceiling
+#: sits near 25 req/s — the sweep brackets that knee.
+_WEB_RATES = [5, 15, 25, 50, 100]
+_WEB_HOST_CPS = 1e8
+
+
+_WEB_SWEEP_CACHE: Dict[int, Dict[float, object]] = {}
+
+
+def _web_sweep() -> Dict[int, Dict[float, object]]:
+    """Shared sweep for fig7/fig8 (memoised — the runs are deterministic)."""
+    if _WEB_SWEEP_CACHE:
+        return _WEB_SWEEP_CACHE
+    results: Dict[int, Dict[float, object]] = _WEB_SWEEP_CACHE
+    for tdf in (1, 10):
+        results[tdf] = {}
+        for rate in _WEB_RATES:
+            results[tdf][rate] = run_web(
+                NetworkProfile.from_rtt(mbps(100), ms(20)),
+                tdf,
+                rate_rps=rate,
+                duration_s=10.0,
+                seed=1234,
+                host_cycles_per_second=_WEB_HOST_CPS,
+            )
+    return results
+
+
+def fig7_web_throughput() -> FigureResult:
+    """Figure 7: web server throughput vs offered load, TDF 1 vs 10."""
+    sweep = _web_sweep()
+    table = Table(
+        ["offered (req/s)", "TDF 1 (req/s)", "TDF 10 (req/s)", "rel err"],
+        title="Web server completion rate vs offered load "
+              "(CPU ceiling ~25 req/s)",
+    )
+    figure = FigureResult("fig7", "Web throughput under dilation", table)
+    for rate in _WEB_RATES:
+        base = sweep[1][rate].throughput_rps
+        dilated = sweep[10][rate].throughput_rps
+        err = relative_error(dilated, base)
+        table.add_row(rate, f"{base:.1f}", f"{dilated:.1f}", f"{err * 100:.3f}%")
+        figure.check(
+            f"offered {rate}/s: dilated matches baseline",
+            err <= EQUIVALENCE_TOLERANCE,
+        )
+    below_knee = sweep[1][_WEB_RATES[0]].throughput_rps
+    saturated = sweep[1][_WEB_RATES[-1]].throughput_rps
+    figure.check(
+        "below the knee the server keeps up with offered load",
+        relative_error(below_knee, _WEB_RATES[0]) < 0.15,
+    )
+    figure.check(
+        "past the knee throughput plateaus near the CPU ceiling (~25/s)",
+        saturated < 35,
+    )
+    figure.chart = line_chart(
+        {
+            "TDF 1": [(r, sweep[1][r].throughput_rps) for r in _WEB_RATES],
+            "TDF 10": [(r, sweep[10][r].throughput_rps) for r in _WEB_RATES],
+        },
+        x_label="offered load (req/s)",
+        y_label="completed (req/s) — curves overprint",
+    )
+    return figure
+
+
+def fig8_web_response_time() -> FigureResult:
+    """Figure 8: response time vs offered load, TDF 1 vs 10."""
+    sweep = _web_sweep()
+    table = Table(
+        ["offered (req/s)", "TDF 1 mean (ms)", "TDF 10 mean (ms)",
+         "TDF 1 p95 (ms)", "TDF 10 p95 (ms)"],
+        title="Client-observed response time vs offered load",
+    )
+    figure = FigureResult("fig8", "Web response time under dilation", table)
+    means = []
+    for rate in _WEB_RATES:
+        base = sweep[1][rate]
+        dilated = sweep[10][rate]
+        means.append(base.mean_latency_s)
+        table.add_row(
+            rate,
+            f"{base.mean_latency_s * 1e3:.1f}",
+            f"{dilated.mean_latency_s * 1e3:.1f}",
+            f"{base.p95_latency_s * 1e3:.1f}",
+            f"{dilated.p95_latency_s * 1e3:.1f}",
+        )
+        figure.check(
+            f"offered {rate}/s: dilated mean latency matches baseline",
+            relative_error(dilated.mean_latency_s, base.mean_latency_s)
+            <= EQUIVALENCE_TOLERANCE,
+        )
+    figure.check(
+        "latency explodes past the saturation knee (>10x the unloaded mean)",
+        means[-1] > 10 * means[0],
+    )
+    figure.check(
+        "latency is flat well below the knee",
+        means[1] < 3 * means[0],
+    )
+    figure.chart = line_chart(
+        {
+            "TDF 1 mean": [
+                (r, sweep[1][r].mean_latency_s * 1e3) for r in _WEB_RATES
+            ],
+            "TDF 10 mean": [
+                (r, sweep[10][r].mean_latency_s * 1e3) for r in _WEB_RATES
+            ],
+        },
+        x_label="offered load (req/s)",
+        y_label="mean response time (ms) — curves overprint",
+    )
+    return figure
+
+
+def fig9_bittorrent_cdf() -> FigureResult:
+    """Figure 9: BitTorrent download-time CDF, TDF 1 vs 10."""
+    kwargs = dict(
+        perceived_leaf=NetworkProfile.from_rtt(mbps(10), ms(20)),
+        leechers=12,
+        file_bytes=2 << 20,
+        seed=777,
+    )
+    base = run_bittorrent(tdf=1, **kwargs)
+    dilated = run_bittorrent(tdf=10, **kwargs)
+    table = Table(
+        ["percentile", "TDF 1 (s)", "TDF 10 (s)"],
+        title="Download completion time across 12 leechers (2 MiB file)",
+    )
+    figure = FigureResult("fig9", "BitTorrent download times under dilation", table)
+    for q in (10, 50, 90, 100):
+        table.add_row(
+            f"p{q}",
+            f"{percentile(base.download_times_s, q):.2f}",
+            f"{percentile(dilated.download_times_s, q):.2f}",
+        )
+    figure.check("all leechers complete (baseline)", base.completed == 12)
+    figure.check("all leechers complete (dilated)", dilated.completed == 12)
+    if base.download_times_s and dilated.download_times_s:
+        mean_err = relative_error(
+            sum(dilated.download_times_s) / len(dilated.download_times_s),
+            sum(base.download_times_s) / len(base.download_times_s),
+        )
+        figure.check(
+            f"mean download time within 10% of baseline (err {mean_err:.4f})",
+            mean_err <= 0.10,
+        )
+        p90_err = relative_error(
+            percentile(dilated.download_times_s, 90),
+            percentile(base.download_times_s, 90),
+        )
+        figure.check(
+            f"p90 download time within 15% (err {p90_err:.4f})",
+            p90_err <= 0.15,
+        )
+        median_err = relative_error(
+            percentile(dilated.download_times_s, 50),
+            percentile(base.download_times_s, 50),
+        )
+        figure.check(
+            f"median download time within 10% (err {median_err:.4f})",
+            median_err <= 0.10,
+        )
+        distance = ks_distance(base.download_times_s, dilated.download_times_s)
+        figure.check(
+            f"CDFs within 3 rank shifts of each other "
+            f"(KS {distance:.3f} <= 0.25)",
+            distance <= 0.25,
+        )
+    figure.notes.append(
+        "the swarm interleaves dozens of independent flows, so event-tie "
+        "ordering is sensitive to float jitter in the virtual->physical "
+        "map; dilated runs are statistically, not bit-, identical here — "
+        "which is also all the paper's testbed could claim"
+    )
+    figure.notes.append(
+        f"seed uploaded {base.seed_uploaded_bytes} B of "
+        f"{base.total_downloaded_bytes} B total — the swarm shares the rest"
+    )
+    return figure
+
+
+def fig10_beyond_gigabit() -> FigureResult:
+    """Figure 10: emulating multi-gigabit paths on sub-gigabit 'hardware'.
+
+    The headline trick: at TDF 10 the physical substrate never carries
+    more than one tenth of the perceived rate, yet the guests observe (and
+    TCP fills) a 10 Gbps path — hardware that, in 2006, did not exist.
+    """
+    tdf = 10
+    table = Table(
+        ["perceived b/w", "physical b/w", "TDF 1 (Gbps)", "TDF 10 (Gbps)",
+         "rel err"],
+        title="Scaling beyond the testbed's line rate (perceived RTT 4 ms, "
+              "9000-byte frames)",
+    )
+    figure = FigureResult("fig10", "Beyond line rate with dilation", table)
+    goodputs = []
+    for target_gbps in (2.5, 5.0, 10.0):
+        perceived = NetworkProfile.from_rtt(gbps(target_gbps), ms(4))
+        base = run_bulk(perceived, 1, duration_s=2.5, warmup_s=1.0, mss=8960)
+        dilated = run_bulk(perceived, tdf, duration_s=2.5, warmup_s=1.0,
+                           mss=8960)
+        err = relative_error(dilated.goodput_bps, base.goodput_bps)
+        goodputs.append(dilated.goodput_bps)
+        table.add_row(
+            format_rate(perceived.bandwidth_bps),
+            format_rate(perceived.bandwidth_bps / tdf),
+            f"{base.goodput_bps / 1e9:.3f}",
+            f"{dilated.goodput_bps / 1e9:.3f}",
+            f"{err * 100:.3f}%",
+        )
+        figure.check(
+            f"{target_gbps} Gbps: dilated matches baseline",
+            err <= EQUIVALENCE_TOLERANCE,
+        )
+    figure.check(
+        "perceived goodput scales with the perceived link, beyond 1 Gbps",
+        goodputs[-1] > goodputs[0] and goodputs[-1] > 1e9,
+    )
+    figure.check(
+        "10 Gbps path achieves >=50% utilisation in the measured window",
+        goodputs[-1] >= 5e9,
+    )
+    return figure
+
+
+def ablation_misscaled() -> FigureResult:
+    """Ablation A1: dilation without rescaling the physical network is wrong.
+
+    Negative control for every equivalence check above: run TDF 10 guests
+    over the *unscaled* target network. Guests then perceive a 10x-faster,
+    10x-shorter path than the target, and results diverge from baseline.
+    """
+    perceived = NetworkProfile.from_rtt(mbps(20), ms(40))
+    base = run_bulk(perceived, 1, duration_s=3.0, warmup_s=1.0)
+    # Wrong setup: dilate guests but hand them the target-valued physical
+    # network (equivalent to forgetting the bandwidth/delay rescale step).
+    wrong_perceived = NetworkProfile.from_rtt(
+        perceived.bandwidth_bps * 10, perceived.rtt_s / 10
+    )
+    wrong = run_bulk(wrong_perceived, 10, duration_s=3.0, warmup_s=1.0)
+    table = Table(
+        ["configuration", "goodput (Mbps)", "srtt (ms)"],
+        title="Forgetting to rescale the physical network breaks emulation",
+    )
+    table.add_row("baseline (correct)", f"{base.goodput_bps / 1e6:.2f}",
+                  f"{(base.srtt or 0) * 1e3:.1f}")
+    table.add_row("TDF 10, unscaled net", f"{wrong.goodput_bps / 1e6:.2f}",
+                  f"{(wrong.srtt or 0) * 1e3:.1f}")
+    figure = FigureResult("ablation1", "Mis-scaled dilation (negative control)",
+                          table)
+    figure.check(
+        "goodput diverges by far more than the equivalence tolerance",
+        relative_error(wrong.goodput_bps, base.goodput_bps) > 0.5,
+    )
+    figure.check(
+        "guest-measured RTT diverges from the target RTT",
+        relative_error(wrong.srtt or 0, base.srtt or 1) > 0.5,
+    )
+    return figure
+
+
+def ablation_dynamic_tdf() -> FigureResult:
+    """Ablation A2: changing the TDF at runtime re-scales perception live."""
+    from ..core.vmm import Hypervisor
+    from ..simnet.queues import DropTailQueue
+    from ..simnet.topology import Network
+    from ..tcp.stack import TcpStack
+    from ..apps.iperf import IperfClient, IperfServer
+
+    net = Network()
+    a = net.add_node("a")
+    b = net.add_node("b")
+    net.add_link(a, b, mbps(10), ms(10),
+                 queue_factory=lambda: DropTailQueue(capacity_packets=100))
+    net.finalize()
+    vmm = Hypervisor(net.sim)
+    vm_a = vmm.create_vm("vma", tdf=10, cpu_share=0.5, node=a)
+    vm_b = vmm.create_vm("vmb", tdf=10, cpu_share=0.5, node=b)
+    server = IperfServer(TcpStack(b))
+    IperfClient(TcpStack(a), "b").start()
+    # Phase 1: TDF 10 -> guests perceive ~100 Mbps.
+    net.run(until=vm_b.clock.to_physical(3.0))
+    phase1_bytes = server.total_bytes
+    vmm.set_tdf("vma", 5)
+    vmm.set_tdf("vmb", 5)
+    # Phase 2: TDF 5 -> the same wire now looks like ~50 Mbps.
+    net.run(until=vm_b.clock.to_physical(6.0))
+    phase2_bytes = server.total_bytes - phase1_bytes
+    rate1 = phase1_bytes * 8 / 3.0
+    rate2 = phase2_bytes * 8 / 3.0
+    table = Table(
+        ["phase", "TDF", "perceived goodput (Mbps)"],
+        title="One flow across a runtime TDF change (physical 10 Mbps)",
+    )
+    table.add_row("0-3 s virtual", 10, f"{rate1 / 1e6:.2f}")
+    table.add_row("3-6 s virtual", 5, f"{rate2 / 1e6:.2f}")
+    figure = FigureResult("ablation2", "Runtime TDF change", table)
+    figure.check("phase 1 perceives ~100 Mbps", abs(rate1 - mbps(100)) / mbps(100) < 0.25)
+    figure.check("phase 2 perceives ~50 Mbps", abs(rate2 - mbps(50)) / mbps(50) < 0.25)
+    figure.check(
+        "virtual clock stayed continuous and monotonic",
+        vm_b.clock.now() >= 6.0 - 1e-6,
+    )
+    return figure
+
+
+def ext1_cross_traffic() -> FigureResult:
+    """Extension E1: equivalence holds with competing cross traffic.
+
+    The paper's validation used clean paths; real experiments share links.
+    A TCP flow competes with a CBR stream at 30% of the bottleneck; both
+    run inside dilated guests, and the dilated run must match baseline.
+    """
+    perceived = NetworkProfile.from_rtt(mbps(20), ms(40))
+    base = run_bulk_with_cross_traffic(perceived, 1, duration_s=6.0)
+    dilated = run_bulk_with_cross_traffic(perceived, 10, duration_s=6.0)
+    table = Table(
+        ["metric", "TDF 1", "TDF 10", "rel err"],
+        title="TCP + 30% CBR cross traffic on a 20 Mbps bottleneck",
+    )
+    figure = FigureResult("ext1", "Equivalence under cross traffic", table)
+    rows = [
+        ("TCP goodput (Mbps)", base.tcp_goodput_bps, dilated.tcp_goodput_bps),
+        ("CBR delivered (Mbps)", base.cross_rate_bps, dilated.cross_rate_bps),
+    ]
+    for label, b, d in rows:
+        err = relative_error(d, b)
+        table.add_row(label, f"{b / 1e6:.3f}", f"{d / 1e6:.3f}",
+                      f"{err * 100:.3f}%")
+        figure.check(f"{label}: dilated matches baseline",
+                     err <= EQUIVALENCE_TOLERANCE)
+    figure.check(
+        "CBR holds near its configured 30% share",
+        relative_error(base.cross_rate_bps, 0.3 * mbps(20)) < 0.15,
+    )
+    figure.check(
+        "TCP claims most of the remainder",
+        base.tcp_goodput_bps > 0.5 * mbps(20),
+    )
+    return figure
+
+
+def ext2_consolidation() -> FigureResult:
+    """Extension E2: multiple dilated guests multiplexed on one machine.
+
+    The paper ran several dilated VMs per physical host. Three guest
+    senders share one machine uplink; contention for the shared NIC must
+    be perceived identically under dilation.
+    """
+    perceived = NetworkProfile.from_rtt(mbps(30), ms(20))
+    base = run_consolidated(perceived, 1, guests=3, duration_s=6.0)
+    dilated = run_consolidated(perceived, 10, guests=3, duration_s=6.0)
+    table = Table(
+        ["guest", "TDF 1 (Mbps)", "TDF 10 (Mbps)"],
+        title="3 guests on one machine, shared 30 Mbps uplink",
+    )
+    figure = FigureResult("ext2", "VM consolidation under dilation", table)
+    for index in range(3):
+        table.add_row(
+            index,
+            f"{base.per_guest_goodput_bps[index] / 1e6:.3f}",
+            f"{dilated.per_guest_goodput_bps[index] / 1e6:.3f}",
+        )
+    table.add_row(
+        "sum",
+        f"{base.aggregate_goodput_bps / 1e6:.3f}",
+        f"{dilated.aggregate_goodput_bps / 1e6:.3f}",
+    )
+    worst = max(
+        relative_error(d, b)
+        for d, b in zip(dilated.per_guest_goodput_bps,
+                        base.per_guest_goodput_bps)
+    )
+    figure.check(
+        f"every guest's share matches baseline (max err {worst:.4f})",
+        worst <= EQUIVALENCE_TOLERANCE,
+    )
+    figure.check(
+        "the shared uplink is saturated",
+        base.aggregate_goodput_bps > 0.7 * mbps(30),
+    )
+    figure.check(
+        "sharing among co-located guests is fair",
+        _jain(base.per_guest_goodput_bps) > 0.8,
+    )
+    return figure
+
+
+def ext3_guest_program() -> FigureResult:
+    """Extension E3: a mixed-resource guest program, phase by phase.
+
+    A "build job" (disk read → compile → disk write → TCP upload) inside a
+    guest, timed with the guest's own clock. With CPU and disk compensated
+    (1/TDF share/throttle) every phase matches the baseline; without
+    compensation CPU and disk appear TDF-times faster while the network
+    phase — the thing being emulated — stays on target.
+    """
+    target = NetworkProfile.from_rtt(mbps(50), ms(20))
+    base = run_guest_build_job(target, 1)
+    compensated = run_guest_build_job(target, 10, compensate=True)
+    uncompensated = run_guest_build_job(target, 10, compensate=False)
+    table = Table(
+        ["phase", "TDF 1 (s)", "TDF 10 comp. (s)", "TDF 10 full (s)"],
+        title="Guest build job: 20 MiB read, 2e9 cycles, 5 MiB write, "
+              "10 MiB upload (perceived 50 Mbps / 20 ms)",
+    )
+    figure = FigureResult("ext3", "Mixed-resource guest program", table)
+    phases = [
+        ("disk read", "disk_read_s"),
+        ("compute", "compute_s"),
+        ("disk write", "disk_write_s"),
+        ("network upload", "network_s"),
+        ("total", "total_s"),
+    ]
+    for label, attr in phases:
+        table.add_row(
+            label,
+            f"{getattr(base, attr):.4f}",
+            f"{getattr(compensated, attr):.4f}",
+            f"{getattr(uncompensated, attr):.4f}",
+        )
+    worst = max(
+        relative_error(getattr(compensated, attr), getattr(base, attr))
+        for _, attr in phases
+    )
+    figure.check(
+        f"compensated guest matches baseline in every phase "
+        f"(max err {worst:.6f})",
+        worst <= EQUIVALENCE_TOLERANCE,
+    )
+    figure.check(
+        "uncompensated compute appears ~10x faster",
+        relative_error(uncompensated.compute_s * 10, base.compute_s) < 0.05,
+    )
+    figure.check(
+        "uncompensated disk appears ~10x faster",
+        relative_error(uncompensated.disk_read_s * 10, base.disk_read_s) < 0.05,
+    )
+    figure.check(
+        "the network phase stays on target either way",
+        relative_error(uncompensated.network_s, base.network_s)
+        <= EQUIVALENCE_TOLERANCE,
+    )
+    return figure
+
+
+FIGURES: Dict[str, Callable[[], FigureResult]] = {
+    "table1": table1_resource_scaling,
+    "table2": table2_cpu_dilation,
+    "fig3": fig3_throughput_vs_rtt,
+    "fig4": fig4_throughput_vs_bandwidth,
+    "fig5": fig5_interarrival_distribution,
+    "fig6": fig6_multiflow_fairness,
+    "fig7": fig7_web_throughput,
+    "fig8": fig8_web_response_time,
+    "fig9": fig9_bittorrent_cdf,
+    "fig10": fig10_beyond_gigabit,
+    "ablation1": ablation_misscaled,
+    "ablation2": ablation_dynamic_tdf,
+    "ext1": ext1_cross_traffic,
+    "ext2": ext2_consolidation,
+    "ext3": ext3_guest_program,
+}
+
+
+def figure_ids() -> List[str]:
+    """All known experiment ids, in paper order."""
+    return list(FIGURES)
+
+
+def run_figure(figure_id: str) -> FigureResult:
+    """Run one experiment by id."""
+    try:
+        fn = FIGURES[figure_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {figure_id!r}; known: {', '.join(FIGURES)}"
+        ) from None
+    return fn()

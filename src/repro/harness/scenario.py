@@ -1,0 +1,157 @@
+"""Declarative experiment construction.
+
+Building a dilated testbed by hand means wiring nodes, links, VMs and
+stacks in the right order. :func:`build_scenario` takes a plain-dict
+description — the kind of thing a user keeps in a config file — and does
+the wiring:
+
+>>> scenario = build_scenario({
+...     "links": [
+...         {"a": "client", "b": "server",
+...          "bandwidth": "10Mbps", "delay": "5ms", "queue": 100},
+...     ],
+...     "vms": [
+...         {"node": "client", "tdf": 10, "cpu_share": 0.5},
+...         {"node": "server", "tdf": 10, "cpu_share": 0.5},
+...     ],
+... })
+>>> sock = scenario.tcp("client").connect("server", 80)
+
+Nodes are declared implicitly by appearing in a link. Quantities accept
+either numbers (SI base units) or strings (``"10Mbps"``, ``"5ms"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from ..core.tdf import TdfLike
+from ..core.vm import VirtualMachine
+from ..core.vmm import Hypervisor
+from ..simnet.errors import ConfigurationError
+from ..simnet.link import Link
+from ..simnet.node import Node
+from ..simnet.queues import DropTailQueue
+from ..simnet.topology import Network
+from ..simnet.units import parse_rate, parse_time
+from ..tcp.stack import TcpStack
+from ..udp.socket import UdpStack
+
+__all__ = ["Scenario", "build_scenario"]
+
+
+def _rate(value: Union[str, float, int]) -> float:
+    return parse_rate(value) if isinstance(value, str) else float(value)
+
+
+def _time(value: Union[str, float, int]) -> float:
+    return parse_time(value) if isinstance(value, str) else float(value)
+
+
+@dataclass
+class Scenario:
+    """A built testbed: network, hypervisor, and lazily created stacks."""
+
+    network: Network
+    vmm: Hypervisor
+    links: List[Link] = field(default_factory=list)
+    vms: Dict[str, VirtualMachine] = field(default_factory=dict)
+    _tcp: Dict[str, TcpStack] = field(default_factory=dict)
+    _udp: Dict[str, UdpStack] = field(default_factory=dict)
+
+    @property
+    def sim(self):
+        return self.network.sim
+
+    def node(self, name: str) -> Node:
+        """Look up a node by name."""
+        return self.network.node(name)
+
+    def vm(self, node_name: str) -> VirtualMachine:
+        """The VM hosting ``node_name`` (KeyError for undilated nodes)."""
+        return self.vms[node_name]
+
+    def tcp(self, node_name: str) -> TcpStack:
+        """The node's TCP stack (created on first use)."""
+        if node_name not in self._tcp:
+            self._tcp[node_name] = TcpStack(self.node(node_name))
+        return self._tcp[node_name]
+
+    def udp(self, node_name: str) -> UdpStack:
+        """The node's UDP stack (created on first use)."""
+        if node_name not in self._udp:
+            self._udp[node_name] = UdpStack(self.node(node_name))
+        return self._udp[node_name]
+
+    def run(self, until: Optional[float] = None,
+            virtual: Optional[str] = None) -> None:
+        """Run the simulation.
+
+        ``until`` is physical seconds; pass ``virtual="<node>"`` to
+        interpret it as that node's VM-virtual seconds instead.
+        """
+        if until is not None and virtual is not None:
+            until = self.vm(virtual).clock.to_physical(until)
+        self.network.run(until=until)
+
+
+def build_scenario(spec: Dict[str, Any]) -> Scenario:
+    """Construct a :class:`Scenario` from a declarative description.
+
+    Recognised keys:
+
+    ``links`` (required)
+        List of ``{"a", "b", "bandwidth", "delay", "queue"?}``; nodes are
+        created on first mention. ``queue`` is drop-tail packets
+        (default 100).
+    ``vms`` (optional)
+        List of ``{"node", "tdf"?, "cpu_share"?}`` — boots the node as a
+        dilated guest.
+    ``host_cycles_per_second`` (optional)
+        Physical CPU rate of the (single) machine hosting the VMs.
+    """
+    if "links" not in spec or not spec["links"]:
+        raise ConfigurationError("scenario needs at least one link")
+    unknown = set(spec) - {"links", "vms", "host_cycles_per_second"}
+    if unknown:
+        raise ConfigurationError(f"unknown scenario keys: {sorted(unknown)}")
+    network = Network()
+    links: List[Link] = []
+    for entry in spec["links"]:
+        for key in ("a", "b", "bandwidth", "delay"):
+            if key not in entry:
+                raise ConfigurationError(f"link entry missing {key!r}: {entry}")
+        for name in (entry["a"], entry["b"]):
+            if name not in network.nodes:
+                network.add_node(name)
+        queue_packets = int(entry.get("queue", 100))
+        links.append(
+            network.add_link(
+                network.node(entry["a"]),
+                network.node(entry["b"]),
+                _rate(entry["bandwidth"]),
+                _time(entry["delay"]),
+                queue_factory=lambda q=queue_packets: DropTailQueue(
+                    capacity_packets=q
+                ),
+            )
+        )
+    network.finalize()
+    vmm = Hypervisor(
+        network.sim,
+        host_cycles_per_second=float(spec.get("host_cycles_per_second", 1e9)),
+    )
+    scenario = Scenario(network=network, vmm=vmm, links=links)
+    for entry in spec.get("vms", []):
+        if "node" not in entry:
+            raise ConfigurationError(f"vm entry missing 'node': {entry}")
+        node_name = entry["node"]
+        vm = vmm.create_vm(
+            f"vm-{node_name}",
+            tdf=entry.get("tdf", 1),
+            cpu_share=float(entry.get("cpu_share", 1.0 / max(1, len(spec["vms"])))),
+            node=network.node(node_name),
+        )
+        scenario.vms[node_name] = vm
+    return scenario

@@ -1,0 +1,170 @@
+"""The discrete-event engine — the library's notion of *physical time*.
+
+Everything in the emulated world is driven by a single event queue ordered
+by physical (wall-clock-equivalent) time. Virtual, dilated time is never
+stored in the queue: dilated components convert their virtual deadlines to
+physical ones before scheduling (see :mod:`repro.core.clock`). Keeping one
+time base in the engine is the design decision that makes the dilated and
+baseline runs of an experiment comparable event-for-event.
+
+Determinism
+-----------
+Two events at the same physical timestamp are ordered by a monotonically
+increasing sequence number assigned at scheduling time. Combined with seeded
+RNGs in the workloads, a simulation is a pure function of its configuration,
+which is what lets the benchmark harness assert that a dilated run matches
+its scaled baseline.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+from .errors import SchedulingError
+
+__all__ = ["Event", "Simulator"]
+
+
+class Event:
+    """A scheduled callback handle.
+
+    The heap itself stores ``(time, seq, event)`` tuples so ordering
+    comparisons run at C speed; the Event object is the cancellation
+    handle. Cancelled events keep their place in the heap and are skipped
+    when popped (lazy deletion).
+    """
+
+    __slots__ = ("time", "seq", "fn", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running; safe to call more than once."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time}, seq={self.seq}{state})"
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    The simulator owns physical time. Components schedule callbacks with
+    :meth:`schedule` / :meth:`call_at` and the main loop (:meth:`run`)
+    executes them in timestamp order.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [1.5]
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        #: Number of events executed so far (observability / debugging).
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current physical time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative; a zero delay runs the callback after
+        all events already scheduled for the current instant.
+        """
+        if delay < 0:
+            raise SchedulingError(f"negative delay: {delay}")
+        return self.call_at(self._now + delay, fn)
+
+    def call_at(self, time: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` at an absolute physical time.
+
+        Scheduling in the past is an error: the world cannot be rewound.
+        """
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at {time}; current time is {self._now}"
+            )
+        event = Event(time, next(self._seq), fn)
+        heapq.heappush(self._queue, (time, event.seq, event))
+        return event
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Execute events in order until the queue drains.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would be strictly later than this
+            physical time. The clock is advanced to ``until`` on exit so a
+            subsequent ``run`` continues from there.
+        max_events:
+            Safety valve for runaway simulations; raises
+            :class:`SchedulingError` when exceeded.
+        """
+        if self._running:
+            raise SchedulingError("simulator is already running (re-entrant run)")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._queue and not self._stopped:
+                time, _, event = self._queue[0]
+                if until is not None and time > until:
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self._now = time
+                event.fn()
+                self.events_processed += 1
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    raise SchedulingError(
+                        f"exceeded max_events={max_events}; runaway simulation?"
+                    )
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event completes."""
+        self._stopped = True
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for _, _, event in self._queue if not event.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or ``None`` if the queue is empty."""
+        live = [entry for entry in self._queue if not entry[2].cancelled]
+        return min(live)[0] if live else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={self._now:.6f}, pending={self.pending()}, "
+            f"processed={self.events_processed})"
+        )

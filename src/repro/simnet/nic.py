@@ -1,0 +1,162 @@
+"""Network interfaces: serialisation, egress queueing, and delivery.
+
+An :class:`Interface` is one direction-capable attachment point of a node.
+Its transmit path models exactly what a physical NIC plus its drop-tail (or
+RED) buffer does:
+
+1. an arriving packet is appended to the egress queue (or dropped by the
+   discipline);
+2. when the transmitter is idle it dequeues the head packet and holds the
+   wire for ``size_bits / bandwidth`` seconds (serialisation);
+3. the packet then propagates for ``delay`` seconds and is delivered to the
+   peer interface's node.
+
+Serialisation and propagation always happen in **physical time** — that is
+the point of the reproduction: the wire does not know about dilation; only
+the guests' perception of it changes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+from .engine import Simulator
+from .errors import ConfigurationError
+from .packet import Packet
+from .queues import DropTailQueue
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .node import Node
+
+__all__ = ["Interface", "TapFn"]
+
+#: Signature of a trace tap: (event kind, physical time, packet).
+TapFn = Callable[[str, float, Packet], None]
+
+
+class Interface:
+    """One endpoint of a point-to-point link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: "Node",
+        bandwidth_bps: float,
+        delay_s: float,
+        queue: Optional[DropTailQueue] = None,
+        name: str = "",
+        jitter_s: float = 0.0,
+        jitter_rng: Optional["random.Random"] = None,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ConfigurationError(f"bandwidth must be positive: {bandwidth_bps}")
+        if delay_s < 0:
+            raise ConfigurationError(f"delay must be non-negative: {delay_s}")
+        if jitter_s < 0:
+            raise ConfigurationError(f"jitter must be non-negative: {jitter_s}")
+        if jitter_s > delay_s:
+            raise ConfigurationError(
+                "jitter may not exceed the base delay (it would need "
+                "negative propagation)"
+            )
+        self.sim = sim
+        self.node = node
+        self.bandwidth_bps = bandwidth_bps
+        self.delay_s = delay_s
+        #: netem-style delay variation: each packet's propagation is
+        #: ``delay ± U(0, jitter)``. Deterministic via the injected RNG.
+        #: Note packets may be reordered when jitter exceeds the packet
+        #: spacing, exactly as with netem.
+        self.jitter_s = jitter_s
+        self._jitter_rng = jitter_rng
+        self.queue = queue if queue is not None else DropTailQueue()
+        self.name = name or f"{node.name}-if"
+        self.peer: Optional["Interface"] = None
+        self._busy = False
+        self._taps: List[TapFn] = []
+        #: Optional fault injector: packets for which this returns True are
+        #: dropped before queueing (used by loss experiments and tests).
+        self.loss_fn: Optional[Callable[[Packet], bool]] = None
+        self.injected_losses = 0
+        #: Administrative state: a downed interface drops everything
+        #: (set via Network.fail_link / restore_link).
+        self.up = True
+        self.down_drops = 0
+        #: Bytes successfully put on the wire (serialised), for utilisation.
+        self.tx_bytes = 0
+        self.tx_packets = 0
+        self.rx_bytes = 0
+        self.rx_packets = 0
+
+    def connect(self, peer: "Interface") -> None:
+        """Bind the remote endpoint; both directions are bound symmetrically."""
+        self.peer = peer
+        peer.peer = self
+
+    def add_tap(self, tap: TapFn) -> None:
+        """Attach a trace tap; called on 'enqueue', 'tx', 'rx' and 'drop'."""
+        self._taps.append(tap)
+
+    def _notify(self, kind: str, packet: Packet) -> None:
+        for tap in self._taps:
+            tap(kind, self.sim.now, packet)
+
+    def set_loss(self, loss_fn: Optional[Callable[[Packet], bool]]) -> None:
+        """Install (or clear) a deterministic loss injector."""
+        self.loss_fn = loss_fn
+
+    def send(self, packet: Packet) -> None:
+        """Entry point for the node: queue the packet and kick the transmitter."""
+        if self.peer is None:
+            raise ConfigurationError(f"interface {self.name} is not connected")
+        if not self.up:
+            self.down_drops += 1
+            self._notify("drop", packet)
+            return
+        if self.loss_fn is not None and self.loss_fn(packet):
+            self.injected_losses += 1
+            self._notify("drop", packet)
+            return
+        if not self.queue.offer(packet):
+            self._notify("drop", packet)
+            return
+        self._notify("enqueue", packet)
+        if not self._busy:
+            self._transmit_next()
+
+    def _transmit_next(self) -> None:
+        packet = self.queue.poll()
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        tx_time = packet.size_bits / self.bandwidth_bps
+        self.sim.schedule(tx_time, lambda: self._finish_transmit(packet))
+
+    def _finish_transmit(self, packet: Packet) -> None:
+        self.tx_bytes += packet.size_bytes
+        self.tx_packets += 1
+        self._notify("tx", packet)
+        peer = self.peer
+        assert peer is not None  # checked in send()
+        delay = self.delay_s
+        if self.jitter_s > 0 and self._jitter_rng is not None:
+            delay += self._jitter_rng.uniform(-self.jitter_s, self.jitter_s)
+        self.sim.schedule(delay, lambda: peer._deliver(packet))
+        self._transmit_next()
+
+    def _deliver(self, packet: Packet) -> None:
+        self.rx_bytes += packet.size_bytes
+        self.rx_packets += 1
+        self._notify("rx", packet)
+        self.node.receive(packet, self)
+
+    def utilisation(self, elapsed_s: float) -> float:
+        """Fraction of ``elapsed_s`` spent serialising (approximate)."""
+        if elapsed_s <= 0:
+            return 0.0
+        return min(1.0, (self.tx_bytes * 8.0) / (self.bandwidth_bps * elapsed_s))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Interface({self.name}, {self.bandwidth_bps:.0f}bps, {self.delay_s}s)"

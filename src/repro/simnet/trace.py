@@ -1,0 +1,78 @@
+"""Packet tracing — the emulator's tcpdump.
+
+A :class:`PacketTrace` attaches to an interface as a tap and records one
+:class:`TraceRecord` per event. The figure-5 benchmark uses traces to
+compare packet interarrival distributions between dilated and baseline
+runs; traces can report interarrivals in either physical time or any
+clock's local (virtual) time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from .clock import Clock
+from .nic import Interface
+from .packet import Packet
+
+__all__ = ["TraceRecord", "PacketTrace"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One observed packet event."""
+
+    kind: str  # 'enqueue' | 'tx' | 'rx' | 'drop'
+    physical_time: float
+    size_bytes: int
+    flow_id: Optional[str]
+    packet_uid: int
+
+
+class PacketTrace:
+    """Record packet events on an interface, optionally filtered by kind/flow."""
+
+    def __init__(
+        self,
+        interface: Interface,
+        kinds: Iterable[str] = ("rx",),
+        flow_id: Optional[str] = None,
+    ) -> None:
+        self._kinds = frozenset(kinds)
+        self._flow_id = flow_id
+        self.records: List[TraceRecord] = []
+        interface.add_tap(self._observe)
+
+    def _observe(self, kind: str, time: float, packet: Packet) -> None:
+        if kind not in self._kinds:
+            return
+        if self._flow_id is not None and packet.flow_id != self._flow_id:
+            return
+        self.records.append(
+            TraceRecord(
+                kind=kind,
+                physical_time=time,
+                size_bytes=packet.size_bytes,
+                flow_id=packet.flow_id,
+                packet_uid=packet.uid,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def timestamps(self, clock: Optional[Clock] = None) -> List[float]:
+        """Event times — physical, or mapped through ``clock`` to local time."""
+        if clock is None:
+            return [record.physical_time for record in self.records]
+        return [clock.to_local(record.physical_time) for record in self.records]
+
+    def interarrivals(self, clock: Optional[Clock] = None) -> List[float]:
+        """Gaps between consecutive events, in physical or local seconds."""
+        stamps = self.timestamps(clock)
+        return [b - a for a, b in zip(stamps, stamps[1:])]
+
+    def total_bytes(self) -> int:
+        """Sum of recorded packet sizes."""
+        return sum(record.size_bytes for record in self.records)

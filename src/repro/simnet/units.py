@@ -1,0 +1,175 @@
+"""Unit helpers for time, data-size and data-rate quantities.
+
+Internally the whole library uses SI base units stored as plain floats:
+
+* time        — seconds
+* data size   — bits (payload sizes in the packet layer are bytes; helpers
+  here convert explicitly, never implicitly)
+* data rate   — bits per second
+
+These helpers exist so that experiment code reads the way the paper's tables
+do (``mbps(100)``, ``ms(40)``) and so that human-entered strings such as
+``"100Mbps"`` or ``"40ms"`` can be parsed in one well-tested place.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "KILO",
+    "MEGA",
+    "GIGA",
+    "BYTE",
+    "usec",
+    "ms",
+    "seconds",
+    "minutes",
+    "kbps",
+    "mbps",
+    "gbps",
+    "kib",
+    "mib",
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "parse_rate",
+    "parse_time",
+    "format_rate",
+    "format_time",
+]
+
+KILO = 1_000.0
+MEGA = 1_000_000.0
+GIGA = 1_000_000_000.0
+
+#: Bits per byte; data on the wire is measured in bits, payloads in bytes.
+BYTE = 8
+
+
+def usec(value: float) -> float:
+    """Microseconds expressed in seconds."""
+    return value * 1e-6
+
+
+def ms(value: float) -> float:
+    """Milliseconds expressed in seconds."""
+    return value * 1e-3
+
+
+def seconds(value: float) -> float:
+    """Seconds (identity — for symmetry in experiment configs)."""
+    return float(value)
+
+
+def minutes(value: float) -> float:
+    """Minutes expressed in seconds."""
+    return value * 60.0
+
+
+def kbps(value: float) -> float:
+    """Kilobits per second expressed in bits per second."""
+    return value * KILO
+
+
+def mbps(value: float) -> float:
+    """Megabits per second expressed in bits per second."""
+    return value * MEGA
+
+
+def gbps(value: float) -> float:
+    """Gigabits per second expressed in bits per second."""
+    return value * GIGA
+
+
+def kib(value: float) -> int:
+    """Kibibytes expressed in bytes."""
+    return int(value * 1024)
+
+
+def mib(value: float) -> int:
+    """Mebibytes expressed in bytes."""
+    return int(value * 1024 * 1024)
+
+
+def bytes_to_bits(num_bytes: float) -> float:
+    """Convert a byte count to bits."""
+    return num_bytes * BYTE
+
+
+def bits_to_bytes(num_bits: float) -> float:
+    """Convert a bit count to bytes."""
+    return num_bits / BYTE
+
+
+_RATE_UNITS = {
+    "bps": 1.0,
+    "kbps": KILO,
+    "mbps": MEGA,
+    "gbps": GIGA,
+}
+
+_TIME_UNITS = {
+    "us": 1e-6,
+    "ms": 1e-3,
+    "s": 1.0,
+    "min": 60.0,
+}
+
+_QUANTITY_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([a-zA-Z]+)\s*$")
+
+
+def parse_rate(text: str) -> float:
+    """Parse a human-readable rate such as ``"100Mbps"`` into bits/second.
+
+    Units are case-insensitive; ``bps``, ``Kbps``, ``Mbps`` and ``Gbps`` are
+    accepted.
+
+    >>> parse_rate("100Mbps")
+    100000000.0
+    """
+    match = _QUANTITY_RE.match(text)
+    if match is None:
+        raise ValueError(f"cannot parse rate: {text!r}")
+    value, unit = match.groups()
+    scale = _RATE_UNITS.get(unit.lower())
+    if scale is None:
+        raise ValueError(f"unknown rate unit {unit!r} in {text!r}")
+    return float(value) * scale
+
+
+def parse_time(text: str) -> float:
+    """Parse a human-readable duration such as ``"40ms"`` into seconds.
+
+    >>> parse_time("40ms")
+    0.04
+    """
+    match = _QUANTITY_RE.match(text)
+    if match is None:
+        raise ValueError(f"cannot parse time: {text!r}")
+    value, unit = match.groups()
+    scale = _TIME_UNITS.get(unit.lower())
+    if scale is None:
+        raise ValueError(f"unknown time unit {unit!r} in {text!r}")
+    return float(value) * scale
+
+
+def format_rate(bits_per_second: float) -> str:
+    """Render a rate with the most natural unit (for reports and tables)."""
+    magnitude = abs(bits_per_second)
+    if magnitude >= GIGA:
+        return f"{bits_per_second / GIGA:.2f} Gbps"
+    if magnitude >= MEGA:
+        return f"{bits_per_second / MEGA:.2f} Mbps"
+    if magnitude >= KILO:
+        return f"{bits_per_second / KILO:.2f} Kbps"
+    return f"{bits_per_second:.2f} bps"
+
+
+def format_time(time_seconds: float) -> str:
+    """Render a duration with the most natural unit."""
+    magnitude = abs(time_seconds)
+    if magnitude >= 1.0:
+        return f"{time_seconds:.3f} s"
+    if magnitude >= 1e-3:
+        return f"{time_seconds * 1e3:.3f} ms"
+    return f"{time_seconds * 1e6:.1f} us"

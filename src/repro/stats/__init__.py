@@ -1,0 +1,18 @@
+"""``repro.stats`` — measurement and distribution-comparison utilities."""
+
+from .cdf import Cdf, ks_distance, percentile
+from .flows import FlowMonitor, FlowStats
+from .meters import IntervalRecorder, LatencyMeter, ThroughputMeter
+from .summary import Summary
+
+__all__ = [
+    "Summary",
+    "FlowMonitor",
+    "FlowStats",
+    "Cdf",
+    "ks_distance",
+    "percentile",
+    "ThroughputMeter",
+    "IntervalRecorder",
+    "LatencyMeter",
+]

@@ -1,0 +1,101 @@
+"""Streaming summary statistics (Welford's algorithm).
+
+Used by every measurement layer: response times, interarrivals, per-flow
+goodput. Welford's online update is numerically stable over millions of
+samples and needs O(1) memory, which matters for long simulations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+__all__ = ["Summary"]
+
+
+class Summary:
+    """Online mean/variance/min/max accumulator."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._total = 0.0
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the summary."""
+        self.count += 1
+        self._total += value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold many samples."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def total(self) -> float:
+        """Sum of all samples."""
+        return self._total
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator; 0.0 below two samples)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stdev(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest sample (0.0 when empty)."""
+        return self._min if self._min is not None else 0.0
+
+    @property
+    def maximum(self) -> float:
+        """Largest sample (0.0 when empty)."""
+        return self._max if self._max is not None else 0.0
+
+    def merge(self, other: "Summary") -> "Summary":
+        """Combine two summaries (parallel Welford merge); returns a new one."""
+        merged = Summary()
+        merged.count = self.count + other.count
+        if merged.count == 0:
+            return merged
+        delta = other.mean - self.mean
+        merged._mean = self.mean + delta * other.count / merged.count
+        merged._m2 = (
+            self._m2
+            + other._m2
+            + delta * delta * self.count * other.count / merged.count
+        )
+        merged._total = self._total + other._total
+        mins = [m for m in (self._min, other._min) if m is not None]
+        maxs = [m for m in (self._max, other._max) if m is not None]
+        merged._min = min(mins) if mins else None
+        merged._max = max(maxs) if maxs else None
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Summary(n={self.count}, mean={self.mean:.6g}, "
+            f"stdev={self.stdev:.6g}, min={self.minimum:.6g}, "
+            f"max={self.maximum:.6g})"
+        )

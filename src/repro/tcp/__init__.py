@@ -1,0 +1,67 @@
+"""``repro.tcp`` — a from-scratch TCP implementation for the emulator.
+
+The guest protocol stack of the reproduction: three-way handshake, sliding
+windows, Tahoe/Reno/NewReno/CUBIC congestion control, RFC 6298
+retransmission timers, fast retransmit/recovery, delayed ACKs and
+FIN teardown — with every timer and timestamp read from the owning node's
+clock, so the entire stack dilates transparently inside a warped guest.
+"""
+
+from .buffers import ReceiveAssembler, SendBuffer
+from .cc import (
+    Cubic,
+    NewReno,
+    Reno,
+    Tahoe,
+    Vegas,
+    initial_window,
+    make_congestion_control,
+)
+from .options import TcpOptions
+from .rtt import RttEstimator
+from .segment import Segment, TCP_HEADER_BYTES
+from .socket import (
+    CLOSED,
+    CLOSE_WAIT,
+    CLOSING,
+    ESTABLISHED,
+    FIN_WAIT_1,
+    FIN_WAIT_2,
+    LAST_ACK,
+    LISTEN,
+    SYN_RCVD,
+    SYN_SENT,
+    TIME_WAIT,
+    TcpSocket,
+)
+from .stack import Listener, TcpStack
+
+__all__ = [
+    "TcpStack",
+    "TcpSocket",
+    "Listener",
+    "TcpOptions",
+    "Segment",
+    "TCP_HEADER_BYTES",
+    "RttEstimator",
+    "SendBuffer",
+    "ReceiveAssembler",
+    "Tahoe",
+    "Reno",
+    "NewReno",
+    "Cubic",
+    "Vegas",
+    "initial_window",
+    "make_congestion_control",
+    "CLOSED",
+    "LISTEN",
+    "SYN_SENT",
+    "SYN_RCVD",
+    "ESTABLISHED",
+    "FIN_WAIT_1",
+    "FIN_WAIT_2",
+    "CLOSE_WAIT",
+    "CLOSING",
+    "LAST_ACK",
+    "TIME_WAIT",
+]

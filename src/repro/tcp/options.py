@@ -1,0 +1,99 @@
+"""Tunable parameters of the TCP implementation.
+
+Defaults follow the mid-2000s Linux stack the paper's guests ran, except
+where an RFC pins the value. Every duration here is interpreted in the
+owning host's **local clock** — virtual seconds inside a dilated guest —
+which is precisely how dilation makes a guest's TCP behave as if the
+network were faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simnet.errors import ConfigurationError
+
+__all__ = ["TcpOptions"]
+
+
+@dataclass
+class TcpOptions:
+    """Per-connection TCP configuration.
+
+    Attributes
+    ----------
+    mss:
+        Maximum segment payload, bytes (1460 = Ethernet MTU minus headers).
+    receive_buffer:
+        Receive window limit, bytes. Sized generously by default so the
+        micro-benchmarks are congestion- not flow-control-limited; the
+        paper's guests used window scaling to the same effect.
+    flavor:
+        Congestion-control algorithm: ``"tahoe"``, ``"reno"``, ``"newreno"``
+        or ``"cubic"``.
+    delayed_ack_timeout:
+        Maximum time a pure ACK may be withheld (RFC 1122 allows 500 ms;
+        Linux uses ~40 ms quick-ack behaviour for bulk flows).
+    ack_every:
+        Send an ACK after this many full segments arrive (RFC 5681: 2).
+    min_rto / initial_rto / max_rto:
+        RFC 6298 bounds. Linux lowers min RTO to 200 ms; we follow Linux.
+    msl:
+        Maximum segment lifetime for TIME_WAIT (2*MSL linger). Kept small
+        by default so experiments do not spend ages tearing down.
+    nagle:
+        RFC 896 coalescing of sub-MSS writes. Off by default: the bulk and
+        request/response workloads here always write full messages, and
+        determinism is easier to reason about without it.
+    sack:
+        Selective acknowledgements (RFC 2018) with scoreboard-driven loss
+        recovery (RFC 6675-style). On by default — the paper's Linux 2.6
+        guests ran with SACK, and without it a large burst loss is repaired
+        at one hole per RTT, which dominates high-BDP experiments.
+    ecn:
+        Explicit Congestion Notification (RFC 3168). When on, data packets
+        are sent ECN-capable; an AQM queue in marking mode sets CE instead
+        of dropping, the receiver echoes ECE, and the sender halves its
+        window once per RTT without any retransmission. Off by default
+        (as in the paper's era); both endpoints must enable it.
+    timestamps:
+        RFC 7323 timestamps. Gives the RTT estimator one sample per ACK
+        (instead of one per flight via the single-timed-segment method)
+        and makes Karn's ambiguity moot. Off by default so the default
+        configuration stays bit-comparable with earlier results; the
+        paper's guests (Linux 2.6) had it on. Inside a dilated guest the
+        stamped values are virtual time — a nice observable of dilation.
+    """
+
+    mss: int = 1460
+    receive_buffer: int = 1 << 20
+    flavor: str = "newreno"
+    sack: bool = True
+    ecn: bool = False
+    timestamps: bool = False
+    delayed_ack_timeout: float = 0.040
+    ack_every: int = 2
+    min_rto: float = 0.200
+    initial_rto: float = 1.0
+    max_rto: float = 60.0
+    msl: float = 1.0
+    nagle: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mss <= 0:
+            raise ConfigurationError(f"mss must be positive: {self.mss}")
+        if self.receive_buffer < self.mss:
+            raise ConfigurationError("receive buffer must hold at least one MSS")
+        if self.flavor not in ("tahoe", "reno", "newreno", "cubic", "vegas"):
+            raise ConfigurationError(f"unknown TCP flavor {self.flavor!r}")
+        if self.ack_every < 1:
+            raise ConfigurationError("ack_every must be at least 1")
+        if not 0 < self.min_rto <= self.initial_rto <= self.max_rto:
+            raise ConfigurationError(
+                "need 0 < min_rto <= initial_rto <= max_rto "
+                f"(got {self.min_rto}, {self.initial_rto}, {self.max_rto})"
+            )
+        if self.delayed_ack_timeout < 0:
+            raise ConfigurationError("delayed_ack_timeout must be non-negative")
+        if self.msl <= 0:
+            raise ConfigurationError("msl must be positive")

@@ -1,0 +1,111 @@
+"""TCP segments.
+
+Sequence numbers count bytes from an initial value of zero per connection
+and are unbounded Python integers, so wraparound never occurs; SYN and FIN
+each consume one sequence unit, exactly as in real TCP. Application data is
+carried as a *byte count* plus optional message markers (see
+:mod:`repro.tcp.buffers`): the emulator transfers stream lengths and
+delivers application objects at the right stream offsets, without hauling
+real payload bytes through memory.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Tuple
+
+__all__ = ["Segment", "TCP_HEADER_BYTES"]
+
+#: Nominal TCP header size (no options), charged on every segment.
+TCP_HEADER_BYTES = 20
+
+_segment_ids = itertools.count(1)
+
+
+@dataclass
+class Segment:
+    """One TCP segment.
+
+    Attributes
+    ----------
+    seq:
+        Sequence number of the first byte (or of the SYN/FIN flag itself).
+    ack:
+        Cumulative acknowledgement — next byte expected by the sender of
+        this segment. Only meaningful when ``ack_flag`` is set.
+    window:
+        Receiver's advertised window in bytes.
+    length:
+        Payload bytes carried (0 for pure ACKs and control segments).
+    messages:
+        Application message markers riding on this payload: a list of
+        ``(stream_offset_end, message)`` pairs, delivered to the application
+        once the receive stream passes each offset.
+    """
+
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    length: int = 0
+    syn: bool = False
+    fin: bool = False
+    rst: bool = False
+    ack_flag: bool = False
+    window: int = 65535
+    messages: List[Tuple[int, Any]] = field(default_factory=list)
+    #: SACK option blocks: (start_seq, end_seq) ranges the receiver holds
+    #: beyond the cumulative ACK (RFC 2018; at most 4 blocks fit).
+    sack: Tuple[Tuple[int, int], ...] = ()
+    #: ECN flags (RFC 3168): receiver echoes congestion (ECE) until the
+    #: sender confirms the window reduction (CWR).
+    ece: bool = False
+    cwr: bool = False
+    #: Timestamps option (RFC 7323): sender's clock at transmission and
+    #: the echo of the peer's most recent timestamp. ``None`` when the
+    #: connection does not use timestamps.
+    ts_val: "float | None" = None
+    ts_ecr: "float | None" = None
+    uid: int = field(default_factory=lambda: next(_segment_ids))
+
+    @property
+    def seq_space(self) -> int:
+        """Sequence space consumed: payload plus one for SYN and for FIN."""
+        return self.length + (1 if self.syn else 0) + (1 if self.fin else 0)
+
+    @property
+    def end_seq(self) -> int:
+        """Sequence number just past this segment."""
+        return self.seq + self.seq_space
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes this segment occupies inside the IP payload.
+
+        SACK blocks are charged as the real option is (2 + 8 per block);
+        the timestamps option costs its canonical 12 bytes (10 + padding).
+        """
+        option_bytes = 2 + 8 * len(self.sack) if self.sack else 0
+        if self.ts_val is not None:
+            option_bytes += 12
+        return TCP_HEADER_BYTES + option_bytes + self.length
+
+    def flags(self) -> str:
+        """Human-readable flag string, tcpdump style."""
+        parts = []
+        if self.syn:
+            parts.append("S")
+        if self.fin:
+            parts.append("F")
+        if self.rst:
+            parts.append("R")
+        if self.ack_flag:
+            parts.append(".")
+        return "".join(parts) or "-"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Segment({self.src_port}>{self.dst_port} [{self.flags()}] "
+            f"seq={self.seq} ack={self.ack} len={self.length} win={self.window})"
+        )

@@ -1,0 +1,998 @@
+"""The TCP connection state machine.
+
+A :class:`TcpSocket` implements the full connection lifecycle over the
+:mod:`repro.simnet` substrate: three-way handshake, sliding-window data
+transfer with congestion control (:mod:`repro.tcp.cc`), RFC 6298
+retransmission timing (:mod:`repro.tcp.rtt`), fast retransmit / fast
+recovery with NewReno partial-ACK handling, delayed ACKs, limited transmit
+(RFC 3042), zero-window persist probes, and the FIN/TIME_WAIT teardown.
+
+Every timer and timestamp flows through the owning node's clock. That is
+the single point of contact with the paper's mechanism: run this exact
+stack on a dilated node and all of its RTT measurements, RTO arming and
+congestion-window pacing happen in virtual time.
+
+The socket is callback-driven (the substrate has no threads):
+
+* ``on_connected(sock)`` — handshake completed;
+* ``on_data(sock, n)`` — ``n`` more in-order bytes delivered;
+* ``on_message(sock, obj)`` — an application message marker passed;
+* ``on_close(sock)`` — remote side finished sending (EOF);
+* ``on_error(sock, exc)`` — reset, handshake failure, or too many RTOs.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable, Optional
+
+from ..simnet.engine import Event
+from ..simnet.errors import ProtocolError
+from ..simnet.node import Node
+from ..simnet.packet import IP_HEADER_BYTES, Packet
+from .buffers import ReceiveAssembler, SendBuffer
+from .cc import make_congestion_control
+from .options import TcpOptions
+from .rtt import RttEstimator
+from .segment import Segment
+
+__all__ = ["TcpSocket", "CLOSED", "LISTEN", "SYN_SENT", "SYN_RCVD",
+           "ESTABLISHED", "FIN_WAIT_1", "FIN_WAIT_2", "CLOSE_WAIT",
+           "CLOSING", "LAST_ACK", "TIME_WAIT"]
+
+CLOSED = "CLOSED"
+LISTEN = "LISTEN"
+SYN_SENT = "SYN_SENT"
+SYN_RCVD = "SYN_RCVD"
+ESTABLISHED = "ESTABLISHED"
+FIN_WAIT_1 = "FIN_WAIT_1"
+FIN_WAIT_2 = "FIN_WAIT_2"
+CLOSE_WAIT = "CLOSE_WAIT"
+CLOSING = "CLOSING"
+LAST_ACK = "LAST_ACK"
+TIME_WAIT = "TIME_WAIT"
+
+#: Connection attempts / retransmissions before giving up (Linux: 15).
+MAX_RETRIES = 15
+
+
+def _merge_interval(ranges, start, end):
+    """Insert [start, end) into a sorted disjoint interval list.
+
+    Fast paths cover the overwhelmingly common cases on a hot ACK path:
+    appending above the current top, and extending the top range.
+    """
+    if end <= start:
+        return ranges
+    if ranges:
+        last_lo, last_hi = ranges[-1]
+        if start > last_hi:
+            ranges.append((start, end))
+            return ranges
+        if start >= last_lo and end >= last_hi:
+            # Overlaps only the last range: extend it in place.
+            ranges[-1] = (last_lo, max(last_hi, end))
+            return ranges
+        if last_lo <= start and end <= last_hi:
+            return ranges  # already covered
+    merged = []
+    for lo, hi in ranges:
+        if hi < start or lo > end:
+            merged.append((lo, hi))
+        else:
+            start = min(start, lo)
+            end = max(end, hi)
+    merged.append((start, end))
+    merged.sort()
+    return merged
+
+
+def _trim_below(ranges, floor):
+    """Drop interval parts below ``floor`` (no-op fast path when clean)."""
+    if not ranges or ranges[0][0] >= floor:
+        return ranges
+    trimmed = []
+    for lo, hi in ranges:
+        if hi <= floor:
+            continue
+        trimmed.append((max(lo, floor), hi))
+    return trimmed
+
+
+def _total_bytes(ranges):
+    """Sum of interval lengths."""
+    return sum(hi - lo for lo, hi in ranges)
+
+
+def _covers(ranges, start, end):
+    """Whether [start, end) is already inside one interval (O(log n))."""
+    index = bisect.bisect_right(ranges, (start, float("inf"))) - 1
+    return index >= 0 and ranges[index][0] <= start and end <= ranges[index][1]
+
+
+class TcpSocket:
+    """One endpoint of a TCP connection. Create via :class:`repro.tcp.stack.TcpStack`."""
+
+    def __init__(
+        self,
+        stack: "Any",
+        local_port: int,
+        remote_addr: str,
+        remote_port: int,
+        options: Optional[TcpOptions] = None,
+        on_connected: Optional[Callable[["TcpSocket"], None]] = None,
+        on_data: Optional[Callable[["TcpSocket", int], None]] = None,
+        on_message: Optional[Callable[["TcpSocket", Any], None]] = None,
+        on_close: Optional[Callable[["TcpSocket"], None]] = None,
+        on_error: Optional[Callable[["TcpSocket", Exception], None]] = None,
+        on_acked: Optional[Callable[["TcpSocket", int], None]] = None,
+        flow_id: Optional[str] = None,
+    ) -> None:
+        self.stack = stack
+        self.node: Node = stack.node
+        self.local_port = local_port
+        self.remote_addr = remote_addr
+        self.remote_port = remote_port
+        self.options = options if options is not None else TcpOptions()
+        self.flow_id = flow_id
+        self.on_connected = on_connected
+        self.on_data = on_data
+        self.on_message = on_message
+        self.on_close = on_close
+        self.on_error = on_error
+        #: Called as on_acked(sock, total_stream_bytes_acked) whenever new
+        #: data is cumulatively acknowledged (sender-side progress hook).
+        self.on_acked = on_acked
+
+        self.state = CLOSED
+
+        # ---- sender state (sequence space: SYN=0, data starts at 1)
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self.snd_wnd = self.options.receive_buffer  # until first ACK says otherwise
+        self.send_buffer = SendBuffer()
+        self.cc = make_congestion_control(self.options.flavor, self.options.mss)
+        self.rtt = RttEstimator(
+            initial_rto=self.options.initial_rto,
+            min_rto=self.options.min_rto,
+            max_rto=self.options.max_rto,
+        )
+        self._rto_event: Optional[Event] = None
+        self._persist_event: Optional[Event] = None
+        self._retries = 0
+        self._dupacks = 0
+        self._in_recovery = False
+        self._recover = 0
+        self._timed_seq: Optional[int] = None
+        self._timed_at = 0.0
+        self._fin_pending = False
+        self._fin_sent = False
+        #: Highest sequence ever sent; anything below is a retransmission.
+        self._high_water = 0
+        # ---- SACK scoreboard (RFC 6675-style recovery)
+        #: Disjoint, sorted (start, end) seq ranges the peer has SACKed.
+        self._scoreboard: list = []
+        #: Ranges retransmitted during the current recovery episode
+        #: (appended in ascending order — see _scan_cursor).
+        self._rexmit_marks: list = []
+        #: Hole-scan position: everything below it is sacked or already
+        #: retransmitted this episode, so the per-segment hole search is
+        #: O(scoreboard) instead of O(episode length^2).
+        self._scan_cursor = 0
+        #: Cached byte total of _rexmit_marks (kept >= snd_una), so _pipe
+        #: is O(1) instead of re-summing the marks on every send decision.
+        self._marks_bytes = 0
+        # ---- timestamps (RFC 7323)
+        #: Most recent TSval received from the peer, echoed on our ACKs.
+        self._ts_recent: Optional[float] = None
+        #: ts_ecr of the ACK currently being processed (RTTM sample source).
+        self._last_ack_ts_ecr: Optional[float] = None
+        # ---- ECN (RFC 3168)
+        #: Receiver side: echo ECE on every ACK until the peer sends CWR.
+        self._ecn_echo = False
+        #: Sender side: set CWR on the next data segment after reducing.
+        self._cwr_pending = False
+        #: One window reduction per RTT: ECE is ignored until snd_una
+        #: passes this point.
+        self._ecn_recover = 0
+
+        # ---- receiver state
+        self.assembler = ReceiveAssembler(
+            self.options.receive_buffer,
+            on_message=self._deliver_message,
+            on_data=self._deliver_data,
+        )
+        self._remote_fin_stream: Optional[int] = None
+        self._fin_received = False
+        self._segments_since_ack = 0
+        self._delack_event: Optional[Event] = None
+
+        # ---- statistics
+        self.segments_sent = 0
+        self.segments_received = 0
+        self.retransmits = 0
+        self.timeouts = 0
+        self.bytes_acked = 0
+
+    # ================================================================= helpers
+
+    @property
+    def clock(self):
+        """The owning node's clock (virtual inside a dilated guest)."""
+        return self.node.clock
+
+    @property
+    def mss(self) -> int:
+        return self.options.mss
+
+    @property
+    def flight_size(self) -> int:
+        """Sequence space in flight."""
+        return self.snd_nxt - self.snd_una
+
+    @property
+    def bytes_received(self) -> int:
+        """In-order payload bytes delivered to the application."""
+        return self.assembler.bytes_delivered
+
+    def _stream_offset(self, seq: int) -> int:
+        """Map a data sequence number to a stream offset (SYN shifts by 1)."""
+        return seq - 1
+
+    def _rcv_ack_value(self) -> int:
+        """The cumulative ACK we advertise."""
+        ack = 1 + self.assembler.rcv_nxt
+        if (
+            self._remote_fin_stream is not None
+            and self.assembler.rcv_nxt >= self._remote_fin_stream
+        ):
+            ack += 1  # the FIN itself
+        return ack
+
+    # ================================================================== opening
+
+    def open_active(self) -> None:
+        """Client side: send the SYN."""
+        if self.state != CLOSED:
+            raise ProtocolError(f"cannot connect from state {self.state}")
+        self.state = SYN_SENT
+        self.snd_una = 0
+        self.snd_nxt = 1
+        self._emit(seq=0, syn=True, ack_flag=False)
+        self._arm_rto()
+
+    def open_passive(self, syn: Segment) -> None:
+        """Server side: a listener saw a SYN; reply SYN+ACK."""
+        self.state = SYN_RCVD
+        self.snd_una = 0
+        self.snd_nxt = 1
+        self._emit(seq=0, syn=True, ack_flag=True)
+        self._arm_rto()
+
+    # ================================================================== sending
+
+    def send(self, n_bytes: int, message: Any = None) -> None:
+        """Queue ``n_bytes`` of application data, optionally tagged."""
+        if self.state in (CLOSED, LISTEN, TIME_WAIT, LAST_ACK, CLOSING,
+                          FIN_WAIT_1, FIN_WAIT_2):
+            raise ProtocolError(f"cannot send in state {self.state}")
+        if self._fin_pending:
+            raise ProtocolError("cannot send after close()")
+        self.send_buffer.write(n_bytes, message)
+        if self.state == ESTABLISHED or self.state == CLOSE_WAIT:
+            self._try_send()
+
+    def send_message(self, message: Any, n_bytes: int) -> None:
+        """Ergonomic alias: ``send(n_bytes, message=message)``."""
+        self.send(n_bytes, message=message)
+
+    def close(self) -> None:
+        """Finish sending: FIN goes out once the buffer drains."""
+        if self.state in (CLOSED, TIME_WAIT):
+            return
+        if self._fin_pending:
+            return
+        self._fin_pending = True
+        if self.state == ESTABLISHED:
+            self.state = FIN_WAIT_1
+        elif self.state == CLOSE_WAIT:
+            self.state = LAST_ACK
+        elif self.state in (SYN_SENT, SYN_RCVD):
+            # Handshake still in flight: queue the graceful close; the
+            # transition to FIN_WAIT_1 happens once we are established.
+            return
+        self._try_send()
+
+    def abort(self) -> None:
+        """Hard reset the connection (RST to the peer)."""
+        if self.state not in (CLOSED,):
+            self._emit_raw(Segment(
+                src_port=self.local_port, dst_port=self.remote_port,
+                seq=self.snd_nxt, rst=True, ack_flag=True,
+                ack=self._rcv_ack_value(), window=self.assembler.window(),
+            ))
+        self._abort(ProtocolError("aborted locally"), notify=False)
+
+    @property
+    def fin_stream_offset(self) -> int:
+        """Stream offset at which our FIN sits (== final stream length)."""
+        return self.send_buffer.stream_length
+
+    def _fin_seq(self) -> int:
+        return self.send_buffer.stream_length + 1
+
+    def _try_send(self) -> None:
+        """Transmit as much as windows allow; called at every opportunity."""
+        if self.state not in (ESTABLISHED, CLOSE_WAIT, FIN_WAIT_1, LAST_ACK,
+                              CLOSING):
+            return
+        sent_any = False
+        while True:
+            window = min(self.cc.cwnd, self.snd_wnd)
+            if self._dupacks in (1, 2) and not self._in_recovery:
+                # Limited transmit (RFC 3042): the two early dupacks let us
+                # send one new segment each to keep the ACK clock running.
+                window += self._dupacks * self.mss
+            usable = int(window) - self.flight_size
+            offset = self._stream_offset(self.snd_nxt)
+            available = self.send_buffer.available_from(offset)
+            if available > 0:
+                if usable <= 0:
+                    break
+                chunk = min(available, self.mss, usable)
+                if self.options.nagle and chunk < self.mss and self.flight_size > 0:
+                    break
+                self._emit_data(self.snd_nxt, chunk)
+                self.snd_nxt += chunk
+                sent_any = True
+                continue
+            if (
+                self._fin_pending
+                and not self._fin_sent
+                and self.snd_nxt == self._fin_seq()
+                # Our FIN is all that's left; window always admits it.
+            ):
+                self._emit(seq=self.snd_nxt, fin=True, ack_flag=True)
+                self._fin_sent = True
+                self.snd_nxt += 1
+                sent_any = True
+            break
+        if sent_any:
+            self._arm_rto()
+        elif (
+            self.snd_wnd == 0
+            and self.send_buffer.available_from(self._stream_offset(self.snd_nxt)) > 0
+            and self.flight_size == 0
+        ):
+            self._arm_persist()
+
+    def _emit_data(self, seq: int, length: int, retransmission: bool = False) -> None:
+        offset = self._stream_offset(seq)
+        markers = self.send_buffer.markers_in(offset, offset + length)
+        retransmission = retransmission or seq < self._high_water
+        self._emit(seq=seq, length=length, messages=markers, ack_flag=True,
+                   retransmission=retransmission)
+        if not retransmission and self._timed_seq is None:
+            self._timed_seq = seq + length
+            self._timed_at = self.clock.now()
+
+    def _emit(
+        self,
+        seq: int,
+        length: int = 0,
+        syn: bool = False,
+        fin: bool = False,
+        ack_flag: bool = True,
+        messages: Optional[list] = None,
+        retransmission: bool = False,
+    ) -> None:
+        sack_blocks = ()
+        if ack_flag and self.options.sack and not syn:
+            # Out-of-order stream ranges, shifted into sequence space.
+            sack_blocks = tuple(
+                (lo + 1, hi + 1) for lo, hi in self.assembler.sack_blocks()
+            )
+        cwr = False
+        if self.options.ecn and self._cwr_pending and length > 0:
+            cwr = True
+            self._cwr_pending = False
+        segment = Segment(
+            src_port=self.local_port,
+            dst_port=self.remote_port,
+            seq=seq,
+            ack=self._rcv_ack_value() if ack_flag else 0,
+            ack_flag=ack_flag,
+            syn=syn,
+            fin=fin,
+            length=length,
+            window=self.assembler.window(),
+            messages=messages or [],
+            sack=sack_blocks,
+            ece=self.options.ecn and self._ecn_echo and ack_flag,
+            cwr=cwr,
+            ts_val=self.clock.now() if self.options.timestamps else None,
+            ts_ecr=self._ts_recent if self.options.timestamps else None,
+        )
+        if retransmission:
+            self.retransmits += 1
+            if self._timed_seq is not None and seq < self._timed_seq <= seq + max(length, 1):
+                self._timed_seq = None  # Karn: never sample a retransmission
+        self._high_water = max(self._high_water, segment.end_seq)
+        self._emit_raw(segment)
+        # Any segment carrying our current ACK satisfies the delayed-ACK duty.
+        if ack_flag:
+            self._ack_sent()
+
+    def _emit_raw(self, segment: Segment) -> None:
+        packet = Packet(
+            src=self.node.name,
+            dst=self.remote_addr,
+            protocol="tcp",
+            size_bytes=IP_HEADER_BYTES + segment.wire_bytes,
+            payload=segment,
+            flow_id=self.flow_id,
+            # Only data packets are marked ECN-capable (RFC 3168 §6.1.1:
+            # pure ACKs are not ECT).
+            ecn_capable=self.options.ecn and segment.length > 0,
+        )
+        self.segments_sent += 1
+        self.node.send(packet)
+
+    # ============================================================== timers: RTO
+
+    def _arm_rto(self) -> None:
+        self._cancel_rto()
+        self._rto_event = self.clock.call_in(self.rtt.rto, self._on_rto)
+
+    def _cancel_rto(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+
+    def _on_rto(self) -> None:
+        self._rto_event = None
+        if self.state == CLOSED:
+            return
+        self._retries += 1
+        self.timeouts += 1
+        if self._retries > MAX_RETRIES:
+            self._abort(ProtocolError("too many retransmission timeouts"))
+            return
+        self.rtt.backoff()
+        self._timed_seq = None
+        if self.state == SYN_SENT:
+            self._emit(seq=0, syn=True, ack_flag=False, retransmission=True)
+        elif self.state == SYN_RCVD:
+            self._emit(seq=0, syn=True, ack_flag=True, retransmission=True)
+        else:
+            self.cc.on_retransmit_timeout(self.flight_size, self.clock.now())
+            self._in_recovery = False
+            self._dupacks = 0
+            # An RTO invalidates our faith in the scoreboard (RFC 6675 §5.1).
+            self._scoreboard = []
+            self._rexmit_marks = []
+            self._marks_bytes = 0
+            self._scan_cursor = self.snd_una
+            # Go-back-N (RFC 5681 §5): rewind and let the ACK clock
+            # fast-forward over ranges the receiver already buffered.
+            self.snd_nxt = self.snd_una
+            if self._fin_pending:
+                self._fin_sent = self.snd_nxt > self._fin_seq()
+            self._try_send()
+        self._arm_rto()
+
+    def _retransmit_first(self) -> None:
+        """Resend the earliest unacknowledged chunk."""
+        if self.snd_una == 0:
+            # SYN unacked (shouldn't reach here outside handshake states).
+            return
+        first_offset = self._stream_offset(self.snd_una)
+        if first_offset < self.send_buffer.stream_length:
+            chunk = min(
+                self.mss,
+                self.send_buffer.stream_length - first_offset,
+                max(self.snd_nxt - self.snd_una, 1),
+            )
+            self._emit_data(self.snd_una, chunk, retransmission=True)
+        elif self._fin_sent and self.snd_una == self._fin_seq():
+            self._emit(seq=self.snd_una, fin=True, ack_flag=True,
+                       retransmission=True)
+
+    # ======================================================== SACK recovery
+
+    def _pipe(self) -> int:
+        """RFC 6675 pipe estimate: bytes believed to be in the network.
+
+        Bytes above the highest SACKed range are in flight; bytes below it
+        that are not SACKed are presumed lost and count only if we have
+        retransmitted them this recovery.
+        """
+        high_end = self._scoreboard[-1][1] if self._scoreboard else self.snd_una
+        tail = max(0, self.snd_nxt - max(self.snd_una, high_end))
+        return tail + self._marks_bytes
+
+    def _next_hole_chunk(self):
+        """The first presumed-lost range not yet retransmitted, or None.
+
+        Scanning starts at ``_scan_cursor``; everything below it was either
+        SACKed or retransmitted earlier in this episode (the cursor only
+        moves forward within one recovery).
+        """
+        high_end = self._scoreboard[-1][1] if self._scoreboard else self.snd_una
+        start = max(self.snd_una, self._scan_cursor)
+        if high_end <= start:
+            # Recovery entered on plain dupacks without SACK ranges (e.g.
+            # pure reordering): retransmit the first segment once.
+            if not self._rexmit_marks and self.snd_nxt > self.snd_una \
+                    and self._scan_cursor <= self.snd_una:
+                return (self.snd_una, min(self.snd_una + self.mss, self.snd_nxt))
+            return None
+        cursor = start
+        next_sacked_start = high_end
+        for lo, hi in self._scoreboard:
+            if hi <= cursor:
+                continue
+            if lo > cursor:
+                next_sacked_start = lo
+                break
+            cursor = hi
+            if cursor >= high_end:
+                return None
+        if cursor >= high_end:
+            return None
+        return (cursor, min(cursor + self.mss, next_sacked_start, high_end))
+
+    def _enter_sack_recovery(self) -> None:
+        now = self.clock.now()
+        self.cc.on_enter_recovery_sack(self.flight_size, now)
+        self._in_recovery = True
+        self._recover = self.snd_nxt
+        self._timed_seq = None
+        self._rexmit_marks = []
+        self._marks_bytes = 0
+        self._scan_cursor = self.snd_una
+        # RFC 6675: the first lost segment is retransmitted immediately,
+        # regardless of the pipe estimate.
+        hole = self._next_hole_chunk()
+        if hole is not None:
+            self._retransmit_hole(hole)
+        self._recovery_send()
+        self._arm_rto()
+
+    def _retransmit_hole(self, hole) -> None:
+        seq, end = hole
+        stream_end = self.send_buffer.stream_length
+        data_end = min(end, stream_end + 1)
+        if seq <= stream_end and data_end > seq:
+            self._emit_data(seq, data_end - seq, retransmission=True)
+        elif self._fin_sent and seq == self._fin_seq():
+            self._emit(seq=seq, fin=True, ack_flag=True, retransmission=True)
+        # Holes are visited in ascending order within an episode, so the
+        # marks list stays sorted with O(1) appends.
+        if self._rexmit_marks and self._rexmit_marks[-1][1] >= seq:
+            last_lo, last_hi = self._rexmit_marks[-1]
+            new_hi = max(last_hi, end)
+            self._marks_bytes += new_hi - last_hi
+            self._rexmit_marks[-1] = (last_lo, new_hi)
+        else:
+            self._rexmit_marks.append((seq, end))
+            self._marks_bytes += end - seq
+        self._scan_cursor = max(self._scan_cursor, end)
+
+    def _recovery_send(self) -> None:
+        """Drive transmissions while the pipe is below cwnd (RFC 6675)."""
+        if not self._in_recovery or not self.options.sack:
+            return
+        while self._pipe() + self.mss <= self.cc.cwnd:
+            hole = self._next_hole_chunk()
+            if hole is not None:
+                self._retransmit_hole(hole)
+                continue
+            offset = self._stream_offset(self.snd_nxt)
+            available = self.send_buffer.available_from(offset)
+            usable_rwnd = self.snd_wnd - self.flight_size
+            if available <= 0 or usable_rwnd <= 0:
+                break
+            chunk = min(available, self.mss, usable_rwnd)
+            self._emit_data(self.snd_nxt, chunk)
+            self.snd_nxt += chunk
+        self._arm_rto()
+
+    # ========================================================== timers: persist
+
+    def _arm_persist(self) -> None:
+        if self._persist_event is not None:
+            return
+        self._persist_event = self.clock.call_in(self.rtt.rto, self._on_persist)
+
+    def _on_persist(self) -> None:
+        self._persist_event = None
+        if self.state == CLOSED or self.snd_wnd > 0:
+            return
+        offset = self._stream_offset(self.snd_nxt)
+        if self.send_buffer.available_from(offset) > 0 and self.flight_size == 0:
+            # One-byte window probe.
+            self._emit_data(self.snd_nxt, 1)
+            self.snd_nxt += 1
+            self._arm_rto()
+        self._arm_persist()
+
+    # ============================================================ delayed ACKs
+
+    def _ack_sent(self) -> None:
+        self._segments_since_ack = 0
+        if self._delack_event is not None:
+            self._delack_event.cancel()
+            self._delack_event = None
+
+    def _schedule_ack(self, immediate: bool) -> None:
+        if immediate or self.options.delayed_ack_timeout == 0:
+            self._send_pure_ack()
+            return
+        self._segments_since_ack += 1
+        if self._segments_since_ack >= self.options.ack_every:
+            self._send_pure_ack()
+            return
+        if self._delack_event is None:
+            self._delack_event = self.clock.call_in(
+                self.options.delayed_ack_timeout, self._on_delack
+            )
+
+    def _on_delack(self) -> None:
+        self._delack_event = None
+        if self.state != CLOSED and self._segments_since_ack > 0:
+            self._send_pure_ack()
+
+    def _send_pure_ack(self) -> None:
+        self._emit(seq=self.snd_nxt, ack_flag=True)
+
+    # ============================================================= segment input
+
+    def handle_segment(self, segment: Segment, ce: bool = False) -> None:
+        """Entry point from the stack's demultiplexer.
+
+        ``ce`` is the IP-layer Congestion Experienced mark of the carrying
+        packet (set by an AQM queue in ECN-marking mode).
+        """
+        self.segments_received += 1
+        if self.options.timestamps and segment.ts_val is not None:
+            # Simplified RFC 7323 echo: remember the newest peer timestamp.
+            if self._ts_recent is None or segment.ts_val >= self._ts_recent:
+                self._ts_recent = segment.ts_val
+        if self.options.ecn:
+            if ce:
+                self._ecn_echo = True
+            if segment.cwr:
+                self._ecn_echo = False
+        if segment.rst:
+            if self.state != CLOSED:
+                self._abort(ProtocolError("connection reset by peer"))
+            return
+        handler = {
+            SYN_SENT: self._segment_in_syn_sent,
+            SYN_RCVD: self._segment_in_syn_rcvd,
+            LISTEN: self._segment_ignored,
+            CLOSED: self._segment_ignored,
+            TIME_WAIT: self._segment_in_time_wait,
+        }.get(self.state, self._segment_in_established_family)
+        handler(segment)
+
+    def _segment_ignored(self, segment: Segment) -> None:
+        pass
+
+    def _segment_in_syn_sent(self, segment: Segment) -> None:
+        if segment.syn and segment.ack_flag and segment.ack == 1:
+            self.snd_una = 1
+            self._retries = 0
+            self._cancel_rto()
+            # Their SYN occupies remote sequence 0; stream data begins at 1.
+            self.state = FIN_WAIT_1 if self._fin_pending else ESTABLISHED
+            self.snd_wnd = segment.window
+            self._send_pure_ack()
+            if self.on_connected is not None:
+                self.on_connected(self)
+            self._try_send()
+        elif segment.syn and not segment.ack_flag:
+            # Simultaneous open: respond with SYN+ACK (rare; supported).
+            self.state = SYN_RCVD
+            self._emit(seq=0, syn=True, ack_flag=True)
+
+    def _segment_in_syn_rcvd(self, segment: Segment) -> None:
+        if segment.syn and not segment.ack_flag:
+            # Duplicate SYN: retransmitted handshake; re-send SYN+ACK.
+            self._emit(seq=0, syn=True, ack_flag=True, retransmission=True)
+            return
+        if segment.ack_flag and segment.ack >= 1:
+            self.snd_una = max(self.snd_una, 1)
+            self._retries = 0
+            self._cancel_rto()
+            self.state = FIN_WAIT_1 if self._fin_pending else ESTABLISHED
+            self.snd_wnd = segment.window
+            listener = getattr(self, "_accept_callback", None)
+            if listener is not None:
+                listener(self)
+            if self.on_connected is not None:
+                self.on_connected(self)
+            # The handshake-completing ACK may carry data or a FIN.
+            if segment.length > 0 or segment.fin:
+                self._segment_in_established_family(segment)
+            else:
+                self._try_send()
+
+    def _segment_in_time_wait(self, segment: Segment) -> None:
+        # Retransmitted FIN from the peer: re-ACK it.
+        if segment.fin:
+            self._send_pure_ack()
+
+    # ------------------------------------------------------- established family
+
+    def _segment_in_established_family(self, segment: Segment) -> None:
+        if segment.syn:
+            # Stray handshake retransmission; the ACK we send covers it.
+            self._send_pure_ack()
+            return
+        if segment.ack_flag:
+            self._process_ack(segment)
+        if segment.length > 0 or segment.messages:
+            self._process_payload(segment)
+        if segment.fin:
+            self._process_fin(segment)
+
+    def _process_ack(self, segment: Segment) -> None:
+        ack = segment.ack
+        if ack > self._high_water:
+            return  # acks data never sent; ignore
+        self._last_ack_ts_ecr = (
+            segment.ts_ecr if self.options.timestamps else None
+        )
+        # After a go-back-N rewind, valid ACKs may exceed snd_nxt.
+        if self.options.sack and segment.sack:
+            for lo, hi in segment.sack:
+                # Most blocks repeat ranges we already hold; skip them in
+                # O(log n) instead of paying the merge.
+                if not _covers(self._scoreboard, lo, hi):
+                    self._scoreboard = _merge_interval(self._scoreboard, lo, hi)
+            self._scoreboard = _trim_below(self._scoreboard, self.snd_una)
+        if (
+            self.options.ecn
+            and segment.ece
+            and not self._in_recovery
+            and self.snd_una >= self._ecn_recover
+        ):
+            # RFC 3168 §6.1.2: one window reduction per round trip.
+            self.cc.on_ecn_congestion(self.flight_size, self.clock.now())
+            self._ecn_recover = self.snd_nxt
+            self._cwr_pending = True
+        window_update = segment.window != self.snd_wnd
+        self.snd_wnd = segment.window
+        if self._persist_event is not None and self.snd_wnd > 0:
+            self._persist_event.cancel()
+            self._persist_event = None
+            self._try_send()
+        if ack > self.snd_una:
+            self._process_new_ack(ack)
+        elif (
+            ack == self.snd_una
+            and self.flight_size > 0
+            and segment.length == 0
+            and not segment.fin
+            and not window_update
+        ):
+            self._process_dup_ack()
+        elif window_update:
+            self._try_send()
+
+    def _process_new_ack(self, ack: int) -> None:
+        acked = ack - self.snd_una
+        self.snd_una = ack
+        # After a go-back-N rewind the receiver may ack past snd_nxt.
+        self.snd_nxt = max(self.snd_nxt, self.snd_una)
+        if self._scoreboard:
+            self._scoreboard = _trim_below(self._scoreboard, ack)
+        if self._rexmit_marks:
+            trimmed = _trim_below(self._rexmit_marks, ack)
+            if trimmed is not self._rexmit_marks:
+                self._rexmit_marks = trimmed
+                self._marks_bytes = _total_bytes(trimmed)
+        self.bytes_acked += acked
+        self._retries = 0
+        self.send_buffer.release_through(self._stream_offset(ack))
+        now = self.clock.now()
+        if (
+            self.options.timestamps
+            and self._last_ack_ts_ecr is not None
+        ):
+            # RTTM: every ACK advancing snd_una yields a sample, and the
+            # echoed timestamp disambiguates retransmissions (no Karn
+            # exclusion needed).
+            sample = now - self._last_ack_ts_ecr
+            if sample >= 0:
+                self.rtt.observe(sample)
+                self.cc.on_rtt_sample(sample, now)
+            self._timed_seq = None
+        elif self._timed_seq is not None and ack >= self._timed_seq:
+            sample = now - self._timed_at
+            self.rtt.observe(sample)
+            self.cc.on_rtt_sample(sample, now)
+            self._timed_seq = None
+        if self._in_recovery:
+            if ack >= self._recover:
+                self._in_recovery = False
+                self._dupacks = 0
+                self._rexmit_marks = []
+                self._marks_bytes = 0
+                self.cc.on_exit_recovery(now)
+            elif self.options.sack:
+                # The scoreboard drives retransmissions; partial ACKs just
+                # open pipe space.
+                self._recovery_send()
+            else:
+                # Partial ACK: NewReno retransmits the next hole and stays
+                # in recovery; Reno/CUBIC exit on the first partial ACK.
+                if self.options.flavor == "newreno":
+                    self.cc.on_partial_ack(acked)
+                    self._retransmit_first()
+                else:
+                    self._in_recovery = False
+                    self._dupacks = 0
+                    self.cc.on_exit_recovery(now)
+        else:
+            self._dupacks = 0
+            self.cc.on_ack(acked, self.flight_size, now)
+        if self.flight_size > 0:
+            self._arm_rto()
+        else:
+            self._cancel_rto()
+        if self.on_acked is not None:
+            # Stream bytes acked: sequence progress minus the SYN (and FIN).
+            stream_acked = min(self.snd_una - 1, self.send_buffer.stream_length)
+            self.on_acked(self, stream_acked)
+        self._after_ack_state_transitions(ack)
+        self._try_send()
+
+    def _process_dup_ack(self) -> None:
+        self._dupacks += 1
+        if self._in_recovery:
+            if self.options.sack and self.cc.supports_fast_recovery:
+                self._recovery_send()  # pipe shrank: maybe send more
+            else:
+                self.cc.on_dup_ack_in_recovery()
+                self._try_send()
+            return
+        if self._dupacks == 3:
+            now = self.clock.now()
+            if self.options.sack and self.cc.supports_fast_recovery:
+                self._enter_sack_recovery()
+                return
+            self.cc.on_enter_recovery(self.flight_size, now)
+            self._timed_seq = None
+            if self.cc.supports_fast_recovery:
+                self._in_recovery = True
+                self._recover = self.snd_nxt
+            else:
+                self._dupacks = 0  # Tahoe restarts slow start outright
+            self._retransmit_first()
+            self._arm_rto()
+        else:
+            self._try_send()  # limited transmit may release a segment
+
+    def _after_ack_state_transitions(self, ack: int) -> None:
+        fin_acked = self._fin_sent and ack >= self._fin_seq() + 1
+        if not fin_acked:
+            return
+        if self.state == FIN_WAIT_1:
+            self.state = FIN_WAIT_2
+        elif self.state == CLOSING:
+            self._enter_time_wait()
+        elif self.state == LAST_ACK:
+            self._become_closed()
+
+    # ---------------------------------------------------------------- payload
+
+    def _process_payload(self, segment: Segment) -> None:
+        offset = self._stream_offset(segment.seq)
+        advanced = self.assembler.accept(offset, segment.length, segment.messages)
+        # RFC 5681: out-of-order or duplicate data elicits an immediate ACK;
+        # in-order data may be delayed.
+        self._schedule_ack(immediate=not advanced)
+        if advanced and self._remote_fin_stream is not None:
+            self._maybe_consume_fin()
+
+    def _deliver_data(self, n_bytes: int) -> None:
+        if self.on_data is not None:
+            self.on_data(self, n_bytes)
+
+    def _deliver_message(self, message: Any) -> None:
+        if self.on_message is not None:
+            self.on_message(self, message)
+
+    # -------------------------------------------------------------------- FIN
+
+    def _process_fin(self, segment: Segment) -> None:
+        fin_stream = self._stream_offset(segment.seq) + segment.length
+        if self._remote_fin_stream is None:
+            self._remote_fin_stream = fin_stream
+        self._maybe_consume_fin()
+
+    def _maybe_consume_fin(self) -> None:
+        if self._fin_received:
+            self._send_pure_ack()
+            return
+        assert self._remote_fin_stream is not None
+        if self.assembler.rcv_nxt < self._remote_fin_stream:
+            # Data before the FIN is still missing; ACK what we have.
+            self._send_pure_ack()
+            return
+        self._fin_received = True
+        if self.state == ESTABLISHED:
+            self.state = CLOSE_WAIT
+        elif self.state == FIN_WAIT_1:
+            # FIN and our FIN crossed; were we also acked?
+            self.state = CLOSING
+        elif self.state == FIN_WAIT_2:
+            self._enter_time_wait()
+        self._send_pure_ack()
+        if self.on_close is not None:
+            self.on_close(self)
+
+    # ---------------------------------------------------------------- teardown
+
+    def _enter_time_wait(self) -> None:
+        self.state = TIME_WAIT
+        self._cancel_rto()
+        self.clock.call_in(2 * self.options.msl, self._become_closed)
+
+    def _become_closed(self) -> None:
+        if self.state == CLOSED:
+            return
+        self.state = CLOSED
+        self._cancel_rto()
+        if self._persist_event is not None:
+            self._persist_event.cancel()
+            self._persist_event = None
+        if self._delack_event is not None:
+            self._delack_event.cancel()
+            self._delack_event = None
+        self.stack.forget(self)
+
+    def _abort(self, error: Exception, notify: bool = True) -> None:
+        already_closed = self.state == CLOSED
+        self._become_closed()
+        if notify and not already_closed and self.on_error is not None:
+            self.on_error(self, error)
+
+    def info(self) -> dict:
+        """A snapshot of connection state, in the spirit of ``ss -i``.
+
+        All time quantities are in the connection's local (virtual) clock.
+        """
+        return {
+            "state": self.state,
+            "local": f"{self.node.name}:{self.local_port}",
+            "remote": f"{self.remote_addr}:{self.remote_port}",
+            "flavor": self.cc.name,
+            "cwnd": self.cc.cwnd,
+            "ssthresh": self.cc.ssthresh,
+            "snd_una": self.snd_una,
+            "snd_nxt": self.snd_nxt,
+            "flight": self.flight_size,
+            "snd_wnd": self.snd_wnd,
+            "srtt": self.rtt.srtt,
+            "rttvar": self.rtt.rttvar,
+            "rto": self.rtt.rto,
+            "in_recovery": self._in_recovery,
+            "sacked_ranges": len(self._scoreboard),
+            "segments_sent": self.segments_sent,
+            "segments_received": self.segments_received,
+            "retransmits": self.retransmits,
+            "timeouts": self.timeouts,
+            "bytes_acked": self.bytes_acked,
+            "bytes_received": self.bytes_received,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TcpSocket({self.node.name}:{self.local_port} -> "
+            f"{self.remote_addr}:{self.remote_port} {self.state} "
+            f"una={self.snd_una} nxt={self.snd_nxt} cwnd={self.cc.cwnd:.0f})"
+        )

@@ -1,0 +1,5 @@
+"""``repro.udp`` — datagram sockets for tracker traffic and probes."""
+
+from .socket import Datagram, UDP_HEADER_BYTES, UdpSocket, UdpStack
+
+__all__ = ["Datagram", "UdpSocket", "UdpStack", "UDP_HEADER_BYTES"]

@@ -1,0 +1,14 @@
+"""``repro.workloads`` — traffic and content models for macro-benchmarks."""
+
+from .distributions import PoissonProcess, ZipfSampler, exponential_interarrival
+from .specweb import CLASS_WEIGHTS, FILES_PER_CLASS, SpecWebFile, SpecWebMix
+
+__all__ = [
+    "PoissonProcess",
+    "ZipfSampler",
+    "exponential_interarrival",
+    "SpecWebFile",
+    "SpecWebMix",
+    "CLASS_WEIGHTS",
+    "FILES_PER_CLASS",
+]

@@ -1,0 +1,92 @@
+"""Random processes used by the macro-benchmark workload generators.
+
+All distributions take an injected :class:`random.Random` so experiments
+are reproducible and so a dilated run and its baseline can consume the
+*identical* random sequence — a prerequisite for the harness's exact
+equivalence checks.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Sequence
+
+from ..simnet.errors import ConfigurationError
+
+__all__ = ["ZipfSampler", "exponential_interarrival", "PoissonProcess"]
+
+
+class ZipfSampler:
+    """Draw indices ``0..n-1`` with probability proportional to ``1/(i+1)^s``.
+
+    Web object popularity is classically Zipf-like (s ≈ 0.8–1.0); SPECweb99
+    uses a Zipf distribution over file classes and files within a class.
+    Sampling is by inverse transform over the precomputed CDF (O(log n)).
+    """
+
+    def __init__(self, n: int, exponent: float = 1.0, rng: random.Random = None) -> None:
+        if n < 1:
+            raise ConfigurationError(f"ZipfSampler needs n >= 1, got {n}")
+        if exponent < 0:
+            raise ConfigurationError(f"Zipf exponent must be non-negative: {exponent}")
+        self.n = n
+        self.exponent = exponent
+        self._rng = rng if rng is not None else random.Random(0)
+        weights = [1.0 / (rank + 1) ** exponent for rank in range(n)]
+        total = sum(weights)
+        cumulative = 0.0
+        self._cdf: List[float] = []
+        for weight in weights:
+            cumulative += weight / total
+            self._cdf.append(cumulative)
+        self._cdf[-1] = 1.0  # guard against float undershoot
+
+    def sample(self) -> int:
+        """One draw."""
+        u = self._rng.random()
+        low, high = 0, self.n - 1
+        while low < high:
+            mid = (low + high) // 2
+            if self._cdf[mid] < u:
+                low = mid + 1
+            else:
+                high = mid
+        return low
+
+    def probability(self, index: int) -> float:
+        """P(X = index)."""
+        if not 0 <= index < self.n:
+            raise ConfigurationError(f"index out of range: {index}")
+        previous = self._cdf[index - 1] if index > 0 else 0.0
+        return self._cdf[index] - previous
+
+
+def exponential_interarrival(rate_per_second: float, rng: random.Random) -> float:
+    """One exponential gap for a Poisson process of the given rate."""
+    if rate_per_second <= 0:
+        raise ConfigurationError(f"rate must be positive: {rate_per_second}")
+    return -math.log(1.0 - rng.random()) / rate_per_second
+
+
+class PoissonProcess:
+    """A stream of exponential interarrival gaps (open-loop load)."""
+
+    def __init__(self, rate_per_second: float, rng: random.Random = None) -> None:
+        if rate_per_second <= 0:
+            raise ConfigurationError(f"rate must be positive: {rate_per_second}")
+        self.rate = rate_per_second
+        self._rng = rng if rng is not None else random.Random(0)
+
+    def next_gap(self) -> float:
+        """Seconds until the next arrival."""
+        return exponential_interarrival(self.rate, self._rng)
+
+    def arrivals_until(self, horizon_s: float) -> List[float]:
+        """All arrival times in [0, horizon)."""
+        times: List[float] = []
+        t = self.next_gap()
+        while t < horizon_s:
+            times.append(t)
+            t += self.next_gap()
+        return times

@@ -1,0 +1,108 @@
+"""A SPECweb99-like static-content workload.
+
+The paper's web macro-benchmark drove Apache with a SPECweb99-style load.
+SPECweb99's static file mix has four classes spanning three orders of
+magnitude of file size; class and file-within-class popularity are
+Zipf-like. We reproduce that structure:
+
+=======  ==================  ============  ============
+class    sizes               class weight  files/class
+=======  ==================  ============  ============
+0        0.1 KB – 0.9 KB     35 %          9
+1        1 KB – 9 KB         50 %          9
+2        10 KB – 90 KB       14 %          9
+3        100 KB – 900 KB      1 %          9
+=======  ==================  ============  ============
+
+(SPECweb99 Table 1; weights 35/50/14/1 are the benchmark's own mix.)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from ..simnet.errors import ConfigurationError
+from .distributions import ZipfSampler
+
+__all__ = ["SpecWebFile", "SpecWebMix", "CLASS_WEIGHTS", "FILES_PER_CLASS"]
+
+#: SPECweb99 static class mix.
+CLASS_WEIGHTS = (0.35, 0.50, 0.14, 0.01)
+
+#: Files per class (SPECweb99 uses 9, sized i*base for i in 1..9).
+FILES_PER_CLASS = 9
+
+_CLASS_BASE_BYTES = (102, 1024, 10240, 102400)  # ~0.1K, 1K, 10K, 100K
+
+
+@dataclass(frozen=True)
+class SpecWebFile:
+    """One file in the emulated document tree."""
+
+    file_class: int
+    index: int
+    size_bytes: int
+
+    @property
+    def name(self) -> str:
+        return f"/class{self.file_class}/file{self.index}"
+
+
+class SpecWebMix:
+    """Sampler producing SPECweb99-like request targets.
+
+    Class selection follows the fixed SPECweb99 mix; the file within a
+    class follows a Zipf distribution, as in the benchmark's access model.
+    """
+
+    def __init__(self, rng: random.Random = None, zipf_exponent: float = 1.0) -> None:
+        self._rng = rng if rng is not None else random.Random(0)
+        self.files: List[List[SpecWebFile]] = []
+        for class_index, base in enumerate(_CLASS_BASE_BYTES):
+            class_files = [
+                SpecWebFile(class_index, i, base * (i + 1))
+                for i in range(FILES_PER_CLASS)
+            ]
+            self.files.append(class_files)
+        self._within_class = ZipfSampler(
+            FILES_PER_CLASS, exponent=zipf_exponent, rng=self._rng
+        )
+        cumulative = 0.0
+        self._class_cdf: List[float] = []
+        for weight in CLASS_WEIGHTS:
+            cumulative += weight
+            self._class_cdf.append(cumulative)
+        self._class_cdf[-1] = 1.0
+
+    def sample(self) -> SpecWebFile:
+        """Pick one file per the SPECweb99 access pattern."""
+        u = self._rng.random()
+        for class_index, edge in enumerate(self._class_cdf):
+            if u <= edge:
+                break
+        else:  # pragma: no cover - CDF ends at 1.0
+            class_index = len(self._class_cdf) - 1
+        return self.files[class_index][self._within_class.sample()]
+
+    def mean_file_size(self) -> float:
+        """Expected response size under the access model, bytes."""
+        expectation = 0.0
+        for class_index, weight in enumerate(CLASS_WEIGHTS):
+            class_mean = sum(
+                self._within_class.probability(i) * f.size_bytes
+                for i, f in enumerate(self.files[class_index])
+            )
+            expectation += weight * class_mean
+        return expectation
+
+    def file_by_name(self, name: str) -> SpecWebFile:
+        """Resolve a request path back to a file (server-side lookup)."""
+        try:
+            class_part, file_part = name.strip("/").split("/")
+            class_index = int(class_part.removeprefix("class"))
+            file_index = int(file_part.removeprefix("file"))
+            return self.files[class_index][file_index]
+        except (ValueError, IndexError):
+            raise ConfigurationError(f"no such file: {name!r}") from None

@@ -1,0 +1,118 @@
+"""Unit tests for cross-traffic sources."""
+
+import random
+
+import pytest
+
+from repro.apps.crosstraffic import CbrSource, OnOffSource, UdpSink
+from repro.core.vmm import Hypervisor
+from repro.simnet.errors import ConfigurationError
+from repro.simnet.topology import Network
+from repro.simnet.units import mbps, ms
+from repro.udp.socket import UdpStack
+
+
+def wired_pair(tdf=None):
+    net = Network()
+    a = net.add_node("a")
+    b = net.add_node("b")
+    net.add_link(a, b, mbps(100), ms(1))
+    net.finalize()
+    vm = None
+    if tdf is not None:
+        vmm = Hypervisor(net.sim)
+        vmm.create_vm("vma", tdf=tdf, cpu_share=0.5, node=a)
+        vm = vmm.create_vm("vmb", tdf=tdf, cpu_share=0.5, node=b)
+    return net, UdpStack(a), UdpStack(b), vm
+
+
+class TestCbr:
+    def test_rate_is_constant(self):
+        net, ua, ub, _ = wired_pair()
+        sink = UdpSink(ub, 9000)
+        source = CbrSource(ua, "b", 9000, rate_bps=mbps(1), packet_bytes=1250)
+        source.start()
+        net.run(until=10.0)
+        # 1 Mbps for 10 s = 1.25 MB.
+        assert sink.bytes_received == pytest.approx(1_250_000, rel=0.02)
+
+    def test_stop_halts_emission(self):
+        net, ua, ub, _ = wired_pair()
+        sink = UdpSink(ub, 9000)
+        source = CbrSource(ua, "b", 9000, rate_bps=mbps(1))
+        source.start()
+        net.run(until=1.0)
+        source.stop()
+        at_stop = source.packets_sent
+        net.run(until=3.0)
+        assert source.packets_sent == at_stop
+
+    def test_dilated_source_emits_at_perceived_rate(self):
+        """A TDF-10 guest's '1 Mbps' CBR stream is 0.1 Mbps on the wire."""
+        net, ua, ub, vm = wired_pair(tdf=10)
+        sink = UdpSink(ub, 9000)
+        source = CbrSource(ua, "b", 9000, rate_bps=mbps(1), packet_bytes=1250)
+        source.start()
+        net.run(until=vm.clock.to_physical(5.0))  # 5 virtual = 50 physical s
+        # 5 virtual seconds at a perceived 1 Mbps.
+        assert sink.bytes_received == pytest.approx(625_000, rel=0.02)
+
+    def test_validation(self):
+        _, ua, _, _ = wired_pair()
+        with pytest.raises(ConfigurationError):
+            CbrSource(ua, "b", 9000, rate_bps=0)
+        with pytest.raises(ConfigurationError):
+            CbrSource(ua, "b", 9000, rate_bps=1e6, packet_bytes=0)
+
+
+class TestOnOff:
+    def test_average_rate_property(self):
+        _, ua, _, _ = wired_pair()
+        source = OnOffSource(
+            ua, "b", 9000, peak_rate_bps=mbps(10),
+            mean_on_s=1.0, mean_off_s=4.0, rng=random.Random(1),
+        )
+        assert source.average_rate_bps == pytest.approx(mbps(2))
+
+    def test_longrun_rate_approaches_average(self):
+        net, ua, ub, _ = wired_pair()
+        sink = UdpSink(ub, 9000)
+        source = OnOffSource(
+            ua, "b", 9000, peak_rate_bps=mbps(4),
+            mean_on_s=0.5, mean_off_s=0.5, rng=random.Random(7),
+        )
+        source.start()
+        horizon = 60.0
+        net.run(until=horizon)
+        measured = sink.bytes_received * 8 / horizon
+        assert measured == pytest.approx(source.average_rate_bps, rel=0.25)
+
+    def test_bursts_alternate_with_silence(self):
+        net, ua, ub, _ = wired_pair()
+        times = []
+
+        class RecordingSink:
+            def __init__(self, udp):
+                udp.bind(9000, lambda s, d: times.append(net.sim.now))
+
+        RecordingSink(ub)
+        source = OnOffSource(
+            ua, "b", 9000, peak_rate_bps=mbps(8),
+            mean_on_s=0.3, mean_off_s=0.7, rng=random.Random(3),
+        )
+        source.start()
+        net.run(until=20.0)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        packet_slot = 1000 * 8 / mbps(8)
+        long_gaps = [g for g in gaps if g > 5 * packet_slot]
+        assert long_gaps, "no OFF periods observed"
+        assert len(long_gaps) < len(gaps) / 2, "no sustained ON bursts"
+
+    def test_validation(self):
+        _, ua, _, _ = wired_pair()
+        with pytest.raises(ConfigurationError):
+            OnOffSource(ua, "b", 9000, peak_rate_bps=0, mean_on_s=1,
+                        mean_off_s=1, rng=random.Random(0))
+        with pytest.raises(ConfigurationError):
+            OnOffSource(ua, "b", 9000, peak_rate_bps=1e6, mean_on_s=0,
+                        mean_off_s=1, rng=random.Random(0))

@@ -1,0 +1,92 @@
+"""Tests for the persistent (keep-alive) HTTP client."""
+
+import random
+
+import pytest
+
+from repro.apps.httpclient import PersistentHttpClient
+from repro.apps.httpd import WebServer
+from repro.simnet.topology import Network
+from repro.simnet.units import mbps, ms
+from repro.tcp.stack import TcpStack
+from repro.workloads.specweb import SpecWebMix
+
+
+def build_site(delay=ms(25)):
+    net = Network()
+    www = net.add_node("www")
+    client_node = net.add_node("client")
+    net.add_link(www, client_node, mbps(100), delay)
+    net.finalize()
+    mix = SpecWebMix(rng=random.Random(3))
+    server = WebServer(TcpStack(www), mix)
+    return net, client_node, mix, server
+
+
+def test_all_requests_complete_on_one_connection():
+    net, client_node, mix, server = build_site()
+    done = []
+    client = PersistentHttpClient(
+        TcpStack(client_node), "www", mix=mix, request_count=10,
+        on_complete=done.append,
+    )
+    client.start()
+    net.run(until=10.0)
+    assert client.completed == 10
+    assert client.failed == 0
+    assert done == [client]
+    assert server.requests_served == 10
+    # One connection total: the stack allocated exactly one ephemeral port.
+    assert client._socket is not None
+
+
+def test_keepalive_skips_the_per_request_handshake():
+    """A small request on the persistent connection costs ~1 RTT; the
+    per-connection client pays the handshake too (~2 RTT)."""
+    net, client_node, mix, server = build_site(delay=ms(50))
+    client = PersistentHttpClient(
+        TcpStack(client_node), "www", mix=mix, request_count=8,
+    )
+    client.start()
+    net.run(until=20.0)
+    assert client.completed == 8
+    keepalive_median = sorted(client.latencies)[len(client.latencies) // 2]
+    assert keepalive_median == pytest.approx(0.100, rel=0.1)  # one RTT
+
+    from repro.apps.httpclient import OpenLoopHttpLoad
+
+    net2, client_node2, mix2, _ = build_site(delay=ms(50))
+    load = OpenLoopHttpLoad(
+        TcpStack(client_node2), "www", rate_per_second=2.0,
+        mix=mix2, rng=random.Random(5), duration_s=4.0,
+    )
+    load.start()
+    net2.run(until=20.0)
+    assert load.completed > 0
+    per_connection_min = load.latency.summary.minimum
+    assert per_connection_min >= 0.200  # handshake + request, 2 RTT
+    assert keepalive_median < per_connection_min
+
+
+def test_request_count_validated():
+    net, client_node, mix, _ = build_site()
+    with pytest.raises(ValueError):
+        PersistentHttpClient(TcpStack(client_node), "www", mix=mix,
+                             request_count=0)
+
+
+def test_error_counted_on_refused_connection():
+    net = Network()
+    www = net.add_node("www")
+    client_node = net.add_node("client")
+    net.add_link(www, client_node, mbps(10), ms(5))
+    net.finalize()
+    TcpStack(www)  # stack but no listener: SYN gets RST
+    mix = SpecWebMix(rng=random.Random(1))
+    client = PersistentHttpClient(
+        TcpStack(client_node), "www", mix=mix, request_count=3,
+    )
+    client.start()
+    net.run(until=5.0)
+    assert client.failed == 1
+    assert client.completed == 0

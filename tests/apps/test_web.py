@@ -1,0 +1,145 @@
+"""Integration tests for the web server and load generators."""
+
+import random
+
+import pytest
+
+from repro.apps.httpclient import ClosedLoopHttpUser, OpenLoopHttpLoad
+from repro.apps.httpd import WebServer
+from repro.core.vmm import Hypervisor
+from repro.simnet.topology import Network
+from repro.simnet.units import mbps, ms
+from repro.tcp.stack import TcpStack
+from repro.workloads.specweb import SpecWebMix
+
+
+def build_site(bandwidth=mbps(100), delay=ms(5), cpu=None, host_cps=1e9,
+               cpu_share=1.0):
+    net = Network()
+    server_node = net.add_node("www")
+    client_node = net.add_node("client")
+    net.add_link(server_node, client_node, bandwidth, delay)
+    net.finalize()
+    mix = SpecWebMix(rng=random.Random(11))
+    virtual_cpu = None
+    if cpu:
+        vmm = Hypervisor(net.sim, host_cycles_per_second=host_cps)
+        vm = vmm.create_vm("web-vm", cpu_share=cpu_share, node=server_node)
+        virtual_cpu = vm.cpu
+    server = WebServer(TcpStack(server_node), mix, cpu=virtual_cpu)
+    return net, server_node, client_node, mix, server
+
+
+def test_single_request_response():
+    net, _, client_node, mix, server = build_site()
+    load = OpenLoopHttpLoad(
+        TcpStack(client_node), "www", rate_per_second=5.0, mix=mix,
+        rng=random.Random(1), duration_s=1.0,
+    )
+    load.start()
+    net.run(until=5.0)
+    assert load.completed == load.issued > 0
+    assert load.failed == 0
+    assert server.requests_served == load.completed
+    assert load.latency.summary.mean > 0
+
+
+def test_response_time_includes_network_rtt():
+    net, _, client_node, mix, server = build_site(delay=ms(50))
+    load = OpenLoopHttpLoad(
+        TcpStack(client_node), "www", rate_per_second=3.0, mix=mix,
+        rng=random.Random(2), duration_s=2.0,
+    )
+    load.start()
+    net.run(until=10.0)
+    # Handshake (1 RTT) + request/response (1 RTT) = at least 200 ms.
+    assert load.latency.summary.minimum >= 0.2
+
+
+def test_cpu_bound_server_saturates():
+    """With an expensive per-request CPU cost the completion rate caps at
+    the CPU service rate even though the network has headroom."""
+    net, _, client_node, mix, server = build_site(cpu=True, host_cps=1e8)
+    # base cycles 2e6 at 1e8 Hz -> 20 ms/request -> ~50 req/s ceiling.
+    load = OpenLoopHttpLoad(
+        TcpStack(client_node), "www", rate_per_second=200.0, mix=mix,
+        rng=random.Random(3), duration_s=4.0,
+    )
+    load.start()
+    net.run(until=8.0)
+    served_rate = server.requests_served / 8.0
+    assert served_rate < 60  # pinned near the 50/s CPU ceiling
+
+
+def test_underloaded_cpu_server_keeps_up():
+    net, _, client_node, mix, server = build_site(cpu=True, host_cps=1e9)
+    load = OpenLoopHttpLoad(
+        TcpStack(client_node), "www", rate_per_second=20.0, mix=mix,
+        rng=random.Random(4), duration_s=2.0,
+    )
+    load.start()
+    net.run(until=6.0)
+    assert load.completed == load.issued
+    assert load.failed == 0
+
+
+def test_closed_loop_user_cycles():
+    net, _, client_node, mix, server = build_site()
+    user = ClosedLoopHttpUser(
+        TcpStack(client_node), "www", mix=mix, rng=random.Random(5),
+        mean_think_time_s=0.1,
+    )
+    user.start()
+    net.run(until=5.0)
+    user.stop()
+    assert user.completed > 5
+    assert user.failed == 0
+
+
+def test_load_stop_halts_arrivals():
+    net, _, client_node, mix, server = build_site()
+    load = OpenLoopHttpLoad(
+        TcpStack(client_node), "www", rate_per_second=50.0, mix=mix,
+        rng=random.Random(6),
+    )
+    load.start()
+    net.run(until=1.0)
+    load.stop()
+    issued_at_stop = load.issued
+    net.run(until=3.0)
+    assert load.issued == issued_at_stop
+
+
+def test_server_404_on_bad_path():
+    net, server_node, client_node, mix, server = build_site()
+    from repro.apps.httpd import REQUEST_BYTES, HttpRequest, HttpResponse
+
+    responses = []
+    stack = TcpStack(client_node)
+
+    def on_connected(sock):
+        sock.send(REQUEST_BYTES, message=HttpRequest.get("/class9/file9"))
+
+    stack.connect(
+        "www", 80,
+        on_connected=on_connected,
+        on_message=lambda sock, msg: responses.append(msg),
+    )
+    net.run(until=2.0)
+    assert len(responses) == 1
+    assert responses[0].status == 404
+    assert server.errors == 1
+
+
+def test_throughput_reporting():
+    net, _, client_node, mix, server = build_site()
+    load = OpenLoopHttpLoad(
+        TcpStack(client_node), "www", rate_per_second=30.0, mix=mix,
+        rng=random.Random(7), duration_s=3.0,
+    )
+    load.start()
+    net.run(until=6.0)
+    assert load.throughput_rps() == pytest.approx(
+        load.completed / load.observed_duration()
+    )
+    assert load.bytes_received > 0

@@ -1,0 +1,141 @@
+"""Unit tests for the guest CPU model."""
+
+import pytest
+
+from repro.core.clock import DilatedClock
+from repro.core.cpu import CpuTask, VirtualCpu
+from repro.simnet.clock import PhysicalClock
+from repro.simnet.engine import Simulator
+from repro.simnet.errors import ConfigurationError
+
+
+def test_task_duration_full_share():
+    sim = Simulator()
+    cpu = VirtualCpu(sim, host_cycles_per_second=1e9, share=1.0)
+    done = []
+    cpu.run(2e9, on_complete=lambda: done.append(sim.now))
+    sim.run()
+    assert done == [pytest.approx(2.0)]
+
+
+def test_task_duration_half_share():
+    sim = Simulator()
+    cpu = VirtualCpu(sim, host_cycles_per_second=1e9, share=0.5)
+    done = []
+    cpu.run(1e9, on_complete=lambda: done.append(sim.now))
+    sim.run()
+    assert done == [pytest.approx(2.0)]
+
+
+def test_fifo_execution():
+    sim = Simulator()
+    cpu = VirtualCpu(sim, host_cycles_per_second=1e9)
+    order = []
+    cpu.run(1e9, on_complete=lambda: order.append(("a", sim.now)))
+    cpu.run(1e9, on_complete=lambda: order.append(("b", sim.now)))
+    assert cpu.busy
+    assert cpu.queue_depth == 1
+    sim.run()
+    assert order == [("a", pytest.approx(1.0)), ("b", pytest.approx(2.0))]
+
+
+def test_callback_can_submit_more_work():
+    sim = Simulator()
+    cpu = VirtualCpu(sim, host_cycles_per_second=1e9)
+    done = []
+    cpu.run(1e9, on_complete=lambda: cpu.run(1e9, on_complete=lambda: done.append(sim.now)))
+    sim.run()
+    assert done == [pytest.approx(2.0)]
+
+
+def test_share_change_recosts_inflight_task():
+    sim = Simulator()
+    cpu = VirtualCpu(sim, host_cycles_per_second=1e9, share=1.0)
+    done = []
+    cpu.run(2e9, on_complete=lambda: done.append(sim.now))
+    # After 1 s (1e9 cycles done), halve the share: remaining 1e9 cycles
+    # now take 2 s -> completion at t=3.
+    sim.schedule(1.0, lambda: cpu.set_share(0.5))
+    sim.run()
+    assert done == [pytest.approx(3.0)]
+
+
+def test_share_change_while_idle():
+    sim = Simulator()
+    cpu = VirtualCpu(sim, host_cycles_per_second=1e9)
+    cpu.set_share(0.25)
+    assert cpu.delivered_cycles_per_second == pytest.approx(2.5e8)
+
+
+def test_task_records_timestamps():
+    sim = Simulator()
+    cpu = VirtualCpu(sim, host_cycles_per_second=1e9)
+    task = cpu.run(5e8)
+    sim.run()
+    assert task.submitted_at_physical == 0.0
+    assert task.completed_at_physical == pytest.approx(0.5)
+    assert task.done
+
+
+def test_cycles_executed_accounting():
+    sim = Simulator()
+    cpu = VirtualCpu(sim, host_cycles_per_second=1e9)
+    cpu.run(1e9)
+    cpu.run(5e8)
+    sim.run()
+    assert cpu.cycles_executed == pytest.approx(1.5e9)
+
+
+@pytest.mark.parametrize("share", [0.0, -0.1, 1.5])
+def test_invalid_share_rejected(share):
+    sim = Simulator()
+    with pytest.raises(ConfigurationError):
+        VirtualCpu(sim, 1e9, share=share)
+
+
+def test_invalid_host_rate_rejected():
+    with pytest.raises(ConfigurationError):
+        VirtualCpu(Simulator(), 0)
+
+
+def test_invalid_task_cycles_rejected():
+    with pytest.raises(ConfigurationError):
+        CpuTask(0)
+
+
+def test_perceived_speed_undilated():
+    sim = Simulator()
+    cpu = VirtualCpu(sim, host_cycles_per_second=1e9, share=0.5)
+    clock = PhysicalClock(sim)
+    assert cpu.perceived_cycles_per_second(clock) == pytest.approx(5e8)
+
+
+def test_perceived_speed_dilated():
+    """TDF 10 with full share: the guest thinks its CPU is 10x faster."""
+    sim = Simulator()
+    cpu = VirtualCpu(sim, host_cycles_per_second=1e9, share=1.0)
+    clock = DilatedClock(sim, tdf=10)
+    assert cpu.perceived_cycles_per_second(clock) == pytest.approx(1e10)
+
+
+def test_perceived_speed_dilated_with_compensating_share():
+    """TDF 10 with 1/10 share: perceived CPU speed is unchanged.
+
+    This is the paper's recipe for scaling the network without scaling CPU.
+    """
+    sim = Simulator()
+    cpu = VirtualCpu(sim, host_cycles_per_second=1e9, share=0.1)
+    clock = DilatedClock(sim, tdf=10)
+    assert cpu.perceived_cycles_per_second(clock) == pytest.approx(1e9)
+
+
+def test_guest_measured_task_time_shrinks_under_dilation():
+    """A fixed-cycle task *appears* k-times faster to a dilated guest."""
+    sim = Simulator()
+    cpu = VirtualCpu(sim, host_cycles_per_second=1e9)
+    clock = DilatedClock(sim, tdf=10)
+    measured = []
+    start_virtual = clock.now()
+    cpu.run(1e9, on_complete=lambda: measured.append(clock.now() - start_virtual))
+    sim.run()
+    assert measured == [pytest.approx(0.1)]

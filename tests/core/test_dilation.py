@@ -1,0 +1,94 @@
+"""Unit tests for the resource-scaling arithmetic (Table 1 math)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.dilation import (
+    NetworkProfile,
+    cpu_share_for_constant_speed,
+    perceived,
+    physical_for,
+    resource_scaling_rows,
+)
+from repro.simnet.errors import ConfigurationError
+from repro.simnet.units import mbps, ms
+
+
+def test_profile_rtt_and_bdp():
+    profile = NetworkProfile(bandwidth_bps=mbps(100), delay_s=ms(20))
+    assert profile.rtt_s == pytest.approx(0.040)
+    assert profile.bandwidth_delay_product_bits == pytest.approx(100e6 * 0.040)
+
+
+def test_profile_from_rtt():
+    profile = NetworkProfile.from_rtt(mbps(10), rtt_s=ms(100))
+    assert profile.delay_s == pytest.approx(0.050)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"bandwidth_bps": 0, "delay_s": 0.1},
+        {"bandwidth_bps": -1, "delay_s": 0.1},
+        {"bandwidth_bps": 1e6, "delay_s": -0.1},
+        {"bandwidth_bps": 1e6, "delay_s": 0.1, "cpu_cycles_per_second": 0},
+    ],
+)
+def test_profile_validation(kwargs):
+    with pytest.raises(ConfigurationError):
+        NetworkProfile(**kwargs)
+
+
+def test_perceived_scales_all_axes():
+    physical = NetworkProfile(mbps(100), ms(100), cpu_cycles_per_second=1e9)
+    view = perceived(physical, tdf=10)
+    assert view.bandwidth_bps == pytest.approx(mbps(1000))
+    assert view.delay_s == pytest.approx(ms(10))
+    assert view.cpu_cycles_per_second == pytest.approx(1e10)
+
+
+def test_perceived_with_compensating_cpu_share():
+    physical = NetworkProfile(mbps(100), ms(100), cpu_cycles_per_second=1e9)
+    view = perceived(physical, tdf=10, cpu_share=0.1)
+    assert view.cpu_cycles_per_second == pytest.approx(1e9)
+
+
+def test_physical_for_needs_less_hardware():
+    target = NetworkProfile(bandwidth_bps=mbps(1000), delay_s=ms(1))
+    needed = physical_for(target, tdf=10)
+    assert needed.bandwidth_bps == pytest.approx(mbps(100))
+    assert needed.delay_s == pytest.approx(ms(10))
+
+
+def test_cpu_share_for_constant_speed():
+    assert cpu_share_for_constant_speed(10) == pytest.approx(0.1)
+    assert cpu_share_for_constant_speed(1) == 1.0
+
+
+def test_cpu_none_propagates():
+    target = NetworkProfile(mbps(10), ms(5))
+    assert physical_for(target, 10).cpu_cycles_per_second is None
+    assert perceived(target, 10).cpu_cycles_per_second is None
+
+
+@given(
+    st.floats(min_value=1e3, max_value=1e12),
+    st.floats(min_value=0, max_value=10),
+    st.integers(min_value=1, max_value=1000),
+)
+def test_property_perceived_inverts_physical_for(bandwidth, delay, tdf):
+    target = NetworkProfile(bandwidth, delay)
+    back = perceived(physical_for(target, tdf), tdf)
+    assert back.bandwidth_bps == pytest.approx(target.bandwidth_bps, rel=1e-9)
+    assert back.delay_s == pytest.approx(target.delay_s, rel=1e-9, abs=1e-15)
+
+
+def test_resource_scaling_rows_table1():
+    physical = NetworkProfile(mbps(100), ms(10), cpu_cycles_per_second=1e9)
+    rows = resource_scaling_rows(physical, tdfs=[1, 10, 100])
+    assert len(rows) == 3
+    assert rows[0].perceived_bandwidth_bps == pytest.approx(mbps(100))
+    assert rows[1].perceived_bandwidth_bps == pytest.approx(mbps(1000))
+    assert rows[2].perceived_bandwidth_bps == pytest.approx(mbps(10000))
+    assert rows[2].perceived_delay_s == pytest.approx(ms(0.1))
+    assert rows[1].physical_bandwidth_bps == pytest.approx(mbps(100))

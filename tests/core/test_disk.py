@@ -1,0 +1,123 @@
+"""Unit tests for the virtual disk and its dilation behaviour."""
+
+import pytest
+
+from repro.core.clock import DilatedClock
+from repro.core.disk import DiskRequest, VirtualDisk
+from repro.core.vmm import Hypervisor
+from repro.simnet.engine import Simulator
+from repro.simnet.errors import ConfigurationError
+
+
+def test_service_time_components():
+    sim = Simulator()
+    disk = VirtualDisk(sim, bandwidth_bytes_per_s=100e6,
+                       positioning_delay_s=0.010)
+    # 10 ms positioning + 1 MB / 100 MB/s = 10 ms transfer.
+    assert disk.service_time(1_000_000) == pytest.approx(0.020)
+
+
+def test_request_completes_at_service_time():
+    sim = Simulator()
+    disk = VirtualDisk(sim, bandwidth_bytes_per_s=100e6,
+                       positioning_delay_s=0.010)
+    done = []
+    disk.read(1_000_000, on_complete=lambda: done.append(sim.now))
+    sim.run()
+    assert done == [pytest.approx(0.020)]
+
+
+def test_fifo_queueing():
+    sim = Simulator()
+    disk = VirtualDisk(sim, bandwidth_bytes_per_s=100e6,
+                       positioning_delay_s=0.010)
+    order = []
+    disk.read(1_000_000, on_complete=lambda: order.append(("r", sim.now)))
+    disk.write(1_000_000, on_complete=lambda: order.append(("w", sim.now)))
+    assert disk.queue_depth == 1
+    sim.run()
+    assert order == [("r", pytest.approx(0.020)), ("w", pytest.approx(0.040))]
+
+
+def test_counters():
+    sim = Simulator()
+    disk = VirtualDisk(sim)
+    disk.read(4096)
+    disk.write(8192)
+    sim.run()
+    assert disk.requests_completed == 2
+    assert disk.bytes_transferred == 12288
+
+
+def test_throttle_slows_device():
+    sim = Simulator()
+    disk = VirtualDisk(sim, bandwidth_bytes_per_s=100e6,
+                       positioning_delay_s=0.010, throttle=0.1)
+    # Both positioning and transfer stretch by 10x.
+    assert disk.service_time(1_000_000) == pytest.approx(0.200)
+
+
+def test_dilated_guest_perceives_faster_disk():
+    """TDF 10, full throttle: the guest measures 10x disk bandwidth."""
+    sim = Simulator()
+    clock = DilatedClock(sim, tdf=10)
+    disk = VirtualDisk(sim, bandwidth_bytes_per_s=100e6,
+                       positioning_delay_s=0.0)
+    measured = []
+    start = clock.now()
+    disk.read(100_000_000, on_complete=lambda: measured.append(clock.now() - start))
+    sim.run()
+    # 1 physical second -> 0.1 virtual seconds -> 1 GB/s perceived.
+    assert measured == [pytest.approx(0.1)]
+
+
+def test_throttle_compensation_keeps_perceived_speed():
+    """TDF 10 with throttle 1/10: perceived disk speed unchanged."""
+    sim = Simulator()
+    clock = DilatedClock(sim, tdf=10)
+    disk = VirtualDisk(sim, bandwidth_bytes_per_s=100e6,
+                       positioning_delay_s=0.0, throttle=0.1)
+    measured = []
+    start = clock.now()
+    disk.read(100_000_000, on_complete=lambda: measured.append(clock.now() - start))
+    sim.run()
+    assert measured == [pytest.approx(1.0)]
+
+
+def test_vm_attach_disk():
+    sim = Simulator()
+    vmm = Hypervisor(sim)
+    vm = vmm.create_vm("g0", tdf=10)
+    disk = vm.attach_disk(VirtualDisk(sim))
+    assert vm.disk is disk
+    with pytest.raises(ConfigurationError):
+        vm.attach_disk(VirtualDisk(sim))
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"bandwidth_bytes_per_s": 0},
+        {"positioning_delay_s": -1},
+        {"throttle": 0},
+        {"throttle": 1.5},
+    ],
+)
+def test_validation(kwargs):
+    with pytest.raises(ConfigurationError):
+        VirtualDisk(Simulator(), **kwargs)
+
+
+def test_request_validation():
+    with pytest.raises(ConfigurationError):
+        DiskRequest(0)
+
+
+def test_request_records_timestamps():
+    sim = Simulator()
+    disk = VirtualDisk(sim, bandwidth_bytes_per_s=1e6, positioning_delay_s=0.0)
+    request = disk.read(1000)
+    assert not request.done
+    sim.run()
+    assert request.done
+    assert request.completed_at_physical == pytest.approx(0.001)

@@ -1,0 +1,330 @@
+"""Unit tests for the guest kernel and its dilation behaviour."""
+
+import pytest
+
+from repro.core.disk import VirtualDisk
+from repro.core.guest import (
+    Compute,
+    DiskRead,
+    DiskWrite,
+    GuestKernel,
+    Join,
+    Now,
+    Sleep,
+)
+from repro.core.vmm import Hypervisor
+from repro.simnet.engine import Simulator
+from repro.simnet.errors import ConfigurationError
+
+
+def boot(tdf=1, cpu_share=1.0, host_cps=1e9, with_disk=False):
+    sim = Simulator()
+    vmm = Hypervisor(sim, host_cycles_per_second=host_cps)
+    vm = vmm.create_vm("g0", tdf=tdf, cpu_share=cpu_share)
+    if with_disk:
+        vm.attach_disk(VirtualDisk(sim, bandwidth_bytes_per_s=100e6,
+                                   positioning_delay_s=0.0))
+    return sim, GuestKernel(vm)
+
+
+def test_empty_program_exits():
+    sim, kernel = boot()
+
+    def program():
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    process = kernel.spawn(program())
+    sim.run()
+    assert not process.alive
+    assert process.error is None
+    assert kernel.running == 0
+    assert kernel.exited == [process]
+
+
+def test_sleep_advances_virtual_time():
+    sim, kernel = boot()
+    result = {}
+
+    def program():
+        start = yield Now()
+        yield Sleep(1.5)
+        result["elapsed"] = (yield Now()) - start
+
+    kernel.spawn(program())
+    sim.run()
+    assert result["elapsed"] == pytest.approx(1.5)
+
+
+def test_compute_charges_vcpu():
+    sim, kernel = boot(host_cps=1e9)
+    result = {}
+
+    def program():
+        start = yield Now()
+        yield Compute(2e9)
+        result["elapsed"] = (yield Now()) - start
+
+    kernel.spawn(program())
+    sim.run()
+    assert result["elapsed"] == pytest.approx(2.0)
+
+
+def test_dilated_program_measures_scaled_times():
+    """The paper's guest-benchmark behaviour: at TDF 10 with full CPU,
+    compute appears 10x faster while sleeps are honoured in virtual time."""
+    sim, kernel = boot(tdf=10, host_cps=1e9)
+    result = {}
+
+    def program():
+        start = yield Now()
+        yield Compute(2e9)            # 2 phys s = 0.2 virtual s
+        mid = yield Now()
+        yield Sleep(1.0)              # 1 virtual s = 10 phys s
+        result["compute"] = mid - start
+        result["total"] = (yield Now()) - start
+
+    kernel.spawn(program())
+    sim.run()
+    assert result["compute"] == pytest.approx(0.2)
+    assert result["total"] == pytest.approx(1.2)
+    assert sim.now == pytest.approx(12.0)  # physical: 2 + 10
+
+
+def test_disk_io_round_trip():
+    sim, kernel = boot(with_disk=True)
+    result = {}
+
+    def program():
+        start = yield Now()
+        n = yield DiskRead(100_000_000)   # 1 s at 100 MB/s
+        result["bytes"] = n
+        yield DiskWrite(50_000_000)
+        result["elapsed"] = (yield Now()) - start
+
+    kernel.spawn(program())
+    sim.run()
+    assert result["bytes"] == 100_000_000
+    assert result["elapsed"] == pytest.approx(1.5)
+
+
+def test_disk_without_device_crashes_process():
+    sim, kernel = boot(with_disk=False)
+
+    def program():
+        yield DiskRead(1000)
+
+    process = kernel.spawn(program())
+    sim.run()
+    assert process.error is not None
+    assert not process.alive
+
+
+def test_unknown_syscall_crashes_process():
+    sim, kernel = boot()
+
+    def program():
+        yield "make me a sandwich"
+
+    process = kernel.spawn(program())
+    sim.run()
+    assert process.error is not None
+
+
+def test_program_exception_is_captured():
+    sim, kernel = boot()
+
+    def program():
+        yield Sleep(0.1)
+        raise RuntimeError("boom")
+
+    process = kernel.spawn(program())
+    sim.run()
+    assert isinstance(process.error, RuntimeError)
+    assert process.runtime() == pytest.approx(0.1)
+
+
+def test_negative_sleep_crashes():
+    sim, kernel = boot()
+
+    def program():
+        yield Sleep(-1)
+
+    process = kernel.spawn(program())
+    sim.run()
+    assert process.error is not None
+
+
+def test_two_processes_share_the_vcpu_fifo():
+    sim, kernel = boot(host_cps=1e9)
+    finished = {}
+
+    def worker(name):
+        yield Compute(1e9)
+        finished[name] = yield Now()
+
+    kernel.spawn(worker("a"), name="a")
+    kernel.spawn(worker("b"), name="b")
+    sim.run()
+    # Single core: second submission runs after the first completes.
+    assert finished["a"] == pytest.approx(1.0)
+    assert finished["b"] == pytest.approx(2.0)
+
+
+def test_sleeping_process_does_not_block_cpu():
+    sim, kernel = boot(host_cps=1e9)
+    finished = {}
+
+    def sleeper():
+        yield Sleep(5.0)
+        finished["sleeper"] = yield Now()
+
+    def worker():
+        yield Compute(1e9)
+        finished["worker"] = yield Now()
+
+    kernel.spawn(sleeper(), name="sleeper")
+    kernel.spawn(worker(), name="worker")
+    sim.run()
+    assert finished["worker"] == pytest.approx(1.0)
+    assert finished["sleeper"] == pytest.approx(5.0)
+
+
+def test_duplicate_name_rejected():
+    sim, kernel = boot()
+
+    def program():
+        yield Sleep(1.0)
+
+    kernel.spawn(program(), name="p")
+    with pytest.raises(ConfigurationError):
+        kernel.spawn(program(), name="p")
+
+
+def test_on_exit_callback_and_counters():
+    sim, kernel = boot()
+    exits = []
+
+    def program():
+        yield Sleep(0.2)
+        yield Sleep(0.3)
+
+    process = kernel.spawn(program(), on_exit=exits.append)
+    sim.run()
+    assert exits == [process]
+    assert process.syscalls == 2
+    assert process.runtime() == pytest.approx(0.5)
+
+
+def test_join_waits_for_target_exit():
+    sim, kernel = boot()
+    order = []
+
+    def worker():
+        yield Sleep(2.0)
+        order.append(("worker-done", kernel.vm.clock.now()))
+
+    def waiter(target):
+        joined = yield Join(target)
+        order.append(("joined", kernel.vm.clock.now(), joined.name))
+
+    worker_proc = kernel.spawn(worker(), name="worker")
+    kernel.spawn(waiter(worker_proc), name="waiter")
+    sim.run()
+    assert order[0][0] == "worker-done"
+    assert order[1][0] == "joined"
+    assert order[1][1] == pytest.approx(2.0)
+    assert order[1][2] == "worker"
+
+
+def test_join_already_exited_resolves_immediately():
+    sim, kernel = boot()
+
+    def quick():
+        return
+        yield  # pragma: no cover
+
+    quick_proc = kernel.spawn(quick(), name="quick")
+    sim.run()
+    assert not quick_proc.alive
+    result = {}
+
+    def waiter():
+        joined = yield Join(quick_proc)
+        result["joined"] = joined
+
+    kernel.spawn(waiter(), name="late-waiter")
+    sim.run()
+    assert result["joined"] is quick_proc
+
+
+def test_join_crashed_process_exposes_error():
+    sim, kernel = boot()
+
+    def crasher():
+        yield Sleep(0.1)
+        raise ValueError("nope")
+
+    crash_proc = kernel.spawn(crasher(), name="crasher")
+    seen = {}
+
+    def waiter():
+        joined = yield Join(crash_proc)
+        seen["error"] = joined.error
+
+    kernel.spawn(waiter(), name="waiter")
+    sim.run()
+    assert isinstance(seen["error"], ValueError)
+
+
+def test_join_self_crashes():
+    sim, kernel = boot()
+    holder = {}
+
+    def selfish():
+        yield Join(holder["me"])
+
+    holder["me"] = kernel.spawn(selfish(), name="selfish")
+    sim.run()
+    assert holder["me"].error is not None
+
+
+def test_fork_join_fanout():
+    """A parent forks workers and joins them all — total time is the max,
+    not the sum, of their sleeps (the CPU is untouched)."""
+    sim, kernel = boot()
+    result = {}
+
+    def worker(duration):
+        yield Sleep(duration)
+
+    def parent():
+        start = yield Now()
+        children = [
+            kernel.spawn(worker(d), name=f"child{i}")
+            for i, d in enumerate((1.0, 3.0, 2.0))
+        ]
+        for child in children:
+            yield Join(child)
+        result["elapsed"] = (yield Now()) - start
+
+    kernel.spawn(parent(), name="parent")
+    sim.run()
+    assert result["elapsed"] == pytest.approx(3.0)
+
+
+def test_compensated_guest_sees_native_compute_but_fast_network_clock():
+    """TDF 10, CPU share 1/10: compute timing unchanged (the independent
+    scaling recipe), while virtual time still runs at 1/10 physical."""
+    sim, kernel = boot(tdf=10, cpu_share=0.1, host_cps=1e9)
+    result = {}
+
+    def program():
+        start = yield Now()
+        yield Compute(1e9)
+        result["compute"] = (yield Now()) - start
+
+    kernel.spawn(program())
+    sim.run()
+    assert result["compute"] == pytest.approx(1.0)
+    assert sim.now == pytest.approx(10.0)

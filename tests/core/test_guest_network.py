@@ -1,0 +1,175 @@
+"""Tests for the guest kernel's network syscalls."""
+
+import pytest
+
+from repro.core.guest import (
+    CloseSock,
+    Connect,
+    Flush,
+    GuestKernel,
+    Now,
+    Recv,
+    SendOn,
+)
+from repro.core.vmm import Hypervisor
+from repro.simnet.topology import Network
+from repro.simnet.units import mbps, ms
+from repro.tcp.stack import TcpStack
+from tests.helpers import Collector
+
+
+def build(tdf=1):
+    net = Network()
+    guest_node = net.add_node("guest")
+    server_node = net.add_node("server")
+    net.add_link(guest_node, server_node, mbps(10), ms(10))
+    net.finalize()
+    vmm = Hypervisor(net.sim)
+    vm = vmm.create_vm("g", tdf=tdf, cpu_share=0.5, node=guest_node)
+    vmm.create_vm("s", tdf=tdf, cpu_share=0.5, node=server_node)
+    kernel = GuestKernel(vm)
+    kernel.use_tcp(TcpStack(guest_node))
+    server_stack = TcpStack(server_node)
+    return net, kernel, server_stack, vm
+
+
+def test_connect_send_flush_close():
+    net, kernel, server_stack, vm = build()
+    events = Collector()
+    server_stack.listen(80, events.on_accept, on_data=events.on_data)
+    result = {}
+
+    def program():
+        sock = yield Connect("server", 80)
+        yield SendOn(sock, 100_000)
+        acked = yield Flush(sock)
+        result["acked"] = acked
+        yield CloseSock(sock)
+        result["done_at"] = yield Now()
+
+    process = kernel.spawn(program())
+    net.run(until=60.0)
+    assert process.error is None
+    assert result["acked"] == 100_000
+    assert events.total_bytes == 100_000
+    assert result["done_at"] > 0
+
+
+def test_recv_blocks_until_bytes_arrive():
+    net, kernel, server_stack, vm = build()
+
+    def on_accept(server_sock):
+        # Server streams a response after a half-second think.
+        server_sock.node.clock.call_in(0.5, lambda: server_sock.send(30_000))
+
+    server_stack.listen(80, on_accept)
+    result = {}
+
+    def program():
+        sock = yield Connect("server", 80)
+        start = yield Now()
+        total = yield Recv(sock, 30_000)
+        result["waited"] = (yield Now()) - start
+        result["total"] = total
+
+    kernel.spawn(program())
+    net.run(until=30.0)
+    assert result["total"] == 30_000
+    assert result["waited"] > 0.5
+
+
+def test_request_response_echo():
+    """A full RPC from guest-program code: send, server doubles it back."""
+    net, kernel, server_stack, vm = build()
+
+    def on_accept(server_sock):
+        state = {"got": 0}
+
+        def on_data(sock, n):
+            state["got"] += n
+
+        server_sock.on_data = on_data
+
+        def maybe_reply(sock):
+            sock.send(2 * state["got"])
+
+        server_sock.on_close = maybe_reply
+
+    server_stack.listen(80, on_accept)
+    result = {}
+
+    def program():
+        sock = yield Connect("server", 80)
+        yield SendOn(sock, 5000)
+        yield Flush(sock)
+        yield CloseSock(sock)
+        yield Recv(sock, 10_000)
+        result["ok"] = True
+
+    kernel.spawn(program())
+    net.run(until=30.0)
+    assert result.get("ok")
+
+
+def test_connect_refused_crashes_process():
+    net, kernel, server_stack, vm = build()  # no listener on port 81
+
+    def program():
+        yield Connect("server", 81)
+
+    process = kernel.spawn(program())
+    net.run(until=10.0)
+    assert process.error is not None
+
+
+def test_connect_without_stack_crashes():
+    net = Network()
+    node = net.add_node("n")
+    other = net.add_node("m")
+    net.add_link(node, other, mbps(1), ms(1))
+    net.finalize()
+    vmm = Hypervisor(net.sim)
+    kernel = GuestKernel(vmm.create_vm("g", node=node))
+
+    def program():
+        yield Connect("m", 80)
+
+    process = kernel.spawn(program())
+    net.run(until=1.0)
+    assert process.error is not None
+
+
+def test_dilated_guest_network_program_times_scale():
+    """The same program at TDF 10 over the rescaled path reports the same
+    virtual transfer time as the baseline."""
+    def run(tdf, bandwidth_scale, delay_scale):
+        net = Network()
+        guest_node = net.add_node("guest")
+        server_node = net.add_node("server")
+        net.add_link(guest_node, server_node,
+                     mbps(10) * bandwidth_scale, ms(10) * delay_scale)
+        net.finalize()
+        vmm = Hypervisor(net.sim)
+        vm = vmm.create_vm("g", tdf=tdf, cpu_share=0.5, node=guest_node)
+        vmm.create_vm("s", tdf=tdf, cpu_share=0.5, node=server_node)
+        kernel = GuestKernel(vm)
+        kernel.use_tcp(TcpStack(guest_node))
+        events = Collector()
+        TcpStack(server_node).listen(80, events.on_accept,
+                                     on_data=events.on_data)
+        result = {}
+
+        def program():
+            start = yield Now()
+            sock = yield Connect("server", 80)
+            yield SendOn(sock, 500_000)
+            yield Flush(sock)
+            result["elapsed"] = (yield Now()) - start
+
+        kernel.spawn(program())
+        net.run(until=120.0)
+        return result["elapsed"]
+
+    baseline = run(1, 1, 1)
+    dilated = run(10, 1 / 10, 10)
+    assert dilated == pytest.approx(baseline, rel=1e-6)

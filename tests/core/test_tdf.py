@@ -1,0 +1,83 @@
+"""Unit tests for the TDF value object."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.tdf import TDF, as_tdf
+from repro.simnet.errors import ConfigurationError
+
+
+def test_construct_from_int():
+    assert TDF(10).value == Fraction(10)
+
+
+def test_construct_from_float_is_exactish():
+    assert TDF(0.1).value == Fraction(1, 10)
+
+
+def test_construct_from_string():
+    assert TDF("3/2").value == Fraction(3, 2)
+
+
+def test_construct_from_fraction_and_tdf():
+    assert TDF(Fraction(5, 2)).value == Fraction(5, 2)
+    assert TDF(TDF(7)).value == Fraction(7)
+
+
+@pytest.mark.parametrize("bad", [0, -1, -0.5, "0", Fraction(-1, 3)])
+def test_rejects_nonpositive(bad):
+    with pytest.raises(ConfigurationError):
+        TDF(bad)
+
+
+def test_rejects_nonsense_type():
+    with pytest.raises(ConfigurationError):
+        TDF(object())
+
+
+def test_immutability():
+    tdf = TDF(2)
+    with pytest.raises(AttributeError):
+        tdf._value = Fraction(3)
+
+
+def test_conversions():
+    tdf = TDF(10)
+    assert tdf.virtual_to_physical(1.0) == 10.0
+    assert tdf.physical_to_virtual(10.0) == 1.0
+    assert tdf.scale_rate(100e6) == 1e9
+
+
+def test_identity():
+    assert TDF(1).is_identity()
+    assert not TDF(2).is_identity()
+
+
+def test_equality_and_hash():
+    assert TDF(2) == TDF(2)
+    assert TDF(2) == 2
+    assert TDF(2) == 2.0
+    assert TDF(2) != TDF(3)
+    assert hash(TDF(2)) == hash(TDF("2"))
+    assert (TDF(2) == "2") is False or True  # NotImplemented path falls back
+
+
+def test_repr():
+    assert repr(TDF(10)) == "TDF(10)"
+    assert repr(TDF("3/2")) == "TDF(3/2)"
+
+
+def test_as_tdf_passthrough():
+    tdf = TDF(4)
+    assert as_tdf(tdf) is tdf
+    assert as_tdf(4) == tdf
+
+
+@given(st.integers(min_value=1, max_value=1000), st.floats(min_value=0, max_value=1e6))
+def test_property_roundtrip_exact_for_integers(k, duration):
+    tdf = TDF(k)
+    assert tdf.physical_to_virtual(tdf.virtual_to_physical(duration)) == pytest.approx(
+        duration, rel=1e-12, abs=1e-12
+    )

@@ -1,0 +1,123 @@
+"""Unit tests for the guest timer service."""
+
+import pytest
+
+from repro.core.clock import DilatedClock
+from repro.core.timer import TimerService
+from repro.simnet.clock import PhysicalClock
+from repro.simnet.engine import Simulator
+from repro.simnet.errors import ConfigurationError, SchedulingError
+
+
+def make_service(tdf=None):
+    sim = Simulator()
+    clock = PhysicalClock(sim) if tdf is None else DilatedClock(sim, tdf)
+    return sim, TimerService(clock)
+
+
+def test_one_shot_fires_once():
+    sim, timers = make_service()
+    fired = []
+    timer = timers.after(1.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [1.0]
+    assert timer.fired
+    assert not timer.active
+
+
+def test_one_shot_cancel():
+    sim, timers = make_service()
+    fired = []
+    timer = timers.after(1.0, lambda: fired.append(1))
+    assert timer.active
+    timer.cancel()
+    sim.run()
+    assert fired == []
+    assert not timer.active
+
+
+def test_cancel_idempotent_and_after_fire():
+    sim, timers = make_service()
+    timer = timers.after(1.0, lambda: None)
+    sim.run()
+    timer.cancel()
+    timer.cancel()
+
+
+def test_negative_delay_rejected():
+    _, timers = make_service()
+    with pytest.raises(SchedulingError):
+        timers.after(-1.0, lambda: None)
+
+
+def test_dilated_one_shot_physical_expansion():
+    sim, timers = make_service(tdf=10)
+    fired = []
+    timers.after(0.010, lambda: fired.append(sim.now))  # 10 ms virtual
+    sim.run()
+    assert fired == [pytest.approx(0.100)]  # 100 ms physical
+
+
+def test_periodic_ticks_and_ordinals():
+    sim, timers = make_service()
+    ticks = []
+    timers.every(0.5, lambda n: ticks.append((n, sim.now)), max_ticks=4)
+    sim.run()
+    assert ticks == [
+        (1, pytest.approx(0.5)),
+        (2, pytest.approx(1.0)),
+        (3, pytest.approx(1.5)),
+        (4, pytest.approx(2.0)),
+    ]
+
+
+def test_periodic_does_not_drift():
+    sim, timers = make_service()
+    times = []
+    timers.every(0.1, lambda n: times.append(sim.now), max_ticks=100)
+    sim.run()
+    # Tick n lands exactly at n * period (re-arm from deadline, not from now).
+    assert times[-1] == pytest.approx(10.0, abs=1e-9)
+
+
+def test_periodic_stop_from_callback():
+    sim, timers = make_service()
+    ticks = []
+
+    def on_tick(n):
+        ticks.append(n)
+        if n == 3:
+            handle.stop()
+
+    handle = timers.every(1.0, on_tick)
+    sim.run()
+    assert ticks == [1, 2, 3]
+    assert handle.ticks == 3
+
+
+def test_periodic_stop_external():
+    sim, timers = make_service()
+    ticks = []
+    handle = timers.every(1.0, lambda n: ticks.append(n))
+    sim.schedule(2.5, handle.stop)
+    sim.run()
+    assert ticks == [1, 2]
+
+
+def test_periodic_rejects_nonpositive_period():
+    _, timers = make_service()
+    with pytest.raises(ConfigurationError):
+        timers.every(0.0, lambda n: None)
+
+
+def test_dilated_periodic_tick_spacing():
+    """A TDF-10 guest's 10 ms tick arrives every 100 ms physical.
+
+    This is exactly the dilated timer-interrupt behaviour of the paper's
+    Xen patch (guest HZ unchanged in virtual time, scaled in physical time).
+    """
+    sim, timers = make_service(tdf=10)
+    times = []
+    timers.every(0.010, lambda n: times.append(sim.now), max_ticks=3)
+    sim.run()
+    assert times == [pytest.approx(0.1), pytest.approx(0.2), pytest.approx(0.3)]

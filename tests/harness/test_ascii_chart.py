@@ -1,0 +1,69 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.harness.ascii_chart import line_chart
+
+
+def test_single_series_renders():
+    chart = line_chart({"a": [(0, 0), (1, 1), (2, 4)]})
+    assert "*" in chart
+    assert "* a" in chart
+    assert "+" + "-" * 60 in chart
+
+
+def test_multiple_series_distinct_glyphs():
+    chart = line_chart({
+        "baseline": [(0, 1), (1, 2)],
+        "dilated": [(0, 2), (1, 1)],
+    })
+    assert "* baseline" in chart
+    assert "o dilated" in chart
+    assert "o" in chart.splitlines()[2]  # glyphs actually plotted
+
+
+def test_labels_included():
+    chart = line_chart({"a": [(0, 0), (1, 1)]},
+                       x_label="RTT (ms)", y_label="Mbps")
+    assert "RTT (ms)" in chart
+    assert chart.splitlines()[0] == "Mbps"
+
+
+def test_axis_limits_rendered():
+    chart = line_chart({"a": [(10, 5), (160, 95)]})
+    assert "10" in chart
+    assert "160" in chart
+    assert "95" in chart
+
+
+def test_constant_series_does_not_divide_by_zero():
+    chart = line_chart({"flat": [(0, 3), (1, 3), (2, 3)]})
+    assert "*" in chart
+
+
+def test_single_point():
+    chart = line_chart({"dot": [(5, 5)]})
+    assert "*" in chart
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        line_chart({})
+    with pytest.raises(ValueError):
+        line_chart({"a": []})
+
+
+def test_too_small_rejected():
+    with pytest.raises(ValueError):
+        line_chart({"a": [(0, 0)]}, width=5)
+    with pytest.raises(ValueError):
+        line_chart({"a": [(0, 0)]}, height=2)
+
+
+def test_chart_width_respected():
+    chart = line_chart({"a": [(0, 0), (1, 1)]}, width=30, height=8)
+    plot_lines = [l for l in chart.splitlines() if "|" in l]
+    assert len(plot_lines) == 8
+    for line in plot_lines:
+        body = line.split("|", 1)[1]
+        assert len(body) == 30

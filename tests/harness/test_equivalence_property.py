@@ -1,0 +1,47 @@
+"""Property-based statement of the paper's headline claim.
+
+For *randomly drawn* network profiles and dilation factors, a dilated run
+must match its rescaled baseline. Short transfers keep each example fast;
+the draw space covers two orders of magnitude of bandwidth and RTT plus
+integer and fractional TDFs.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dilation import NetworkProfile
+from repro.harness.experiments import run_bulk
+from repro.simnet.units import mbps, ms
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    bandwidth_mbps=st.sampled_from([2, 5, 10, 25, 60]),
+    rtt_ms=st.sampled_from([4, 10, 30, 80]),
+    tdf=st.sampled_from([2, 7, 10, 50, "1/2", "5/2"]),
+)
+def test_property_bulk_equivalence(bandwidth_mbps, rtt_ms, tdf):
+    perceived = NetworkProfile.from_rtt(mbps(bandwidth_mbps), ms(rtt_ms))
+    baseline = run_bulk(perceived, 1, duration_s=1.5, warmup_s=0.25)
+    dilated = run_bulk(perceived, tdf, duration_s=1.5, warmup_s=0.25)
+    assert dilated.delivered_bytes == pytest.approx(
+        baseline.delivered_bytes, rel=1e-6
+    )
+    assert dilated.segments_sent == baseline.segments_sent
+    assert dilated.retransmits == baseline.retransmits
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    tdf_a=st.sampled_from([2, 5, 20]),
+    tdf_b=st.sampled_from([3, 10, 100]),
+)
+def test_property_all_tdfs_agree_with_each_other(tdf_a, tdf_b):
+    """Not just dilated-vs-1: any two TDFs of the same target agree."""
+    perceived = NetworkProfile.from_rtt(mbps(8), ms(20))
+    run_a = run_bulk(perceived, tdf_a, duration_s=1.2, warmup_s=0.2)
+    run_b = run_bulk(perceived, tdf_b, duration_s=1.2, warmup_s=0.2)
+    assert run_a.delivered_bytes == pytest.approx(
+        run_b.delivered_bytes, rel=1e-6
+    )
+    assert run_a.segments_sent == run_b.segments_sent

@@ -1,0 +1,77 @@
+"""Unit tests for tables and figure results."""
+
+import pytest
+
+from repro.harness.report import Check, FigureResult, Table
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(["name", "value"], title="demo")
+        table.add_row("alpha", 1)
+        table.add_row("b", 22)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        # All data lines have equal width.
+        assert len(set(len(line) for line in lines[1:])) == 1
+
+    def test_row_arity_checked(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_render_without_title(self):
+        table = Table(["x"])
+        table.add_row(5)
+        assert table.render().splitlines()[0].strip() == "x"
+
+    def test_to_csv(self):
+        table = Table(["a", "b"])
+        table.add_row(1, "x,y")
+        csv_text = table.to_csv()
+        assert csv_text.splitlines() == ["a,b", '1,"x,y"']
+
+
+class TestFigureResult:
+    def make(self):
+        table = Table(["k"])
+        table.add_row(1)
+        return FigureResult("figX", "demo figure", table)
+
+    def test_checks_accumulate(self):
+        figure = self.make()
+        figure.check("ok", True)
+        figure.check("bad", False)
+        assert not figure.all_passed
+        assert [c.description for c in figure.failed_checks()] == ["bad"]
+
+    def test_all_passed_empty(self):
+        assert self.make().all_passed
+
+    def test_render_includes_everything(self):
+        figure = self.make()
+        figure.notes.append("a note")
+        figure.check("shape holds", True)
+        text = figure.render()
+        assert "figX" in text
+        assert "a note" in text
+        assert "[PASS] shape holds" in text
+
+    def test_render_marks_failures(self):
+        figure = self.make()
+        figure.check("broken", False)
+        assert "[FAIL] broken" in figure.render()
+
+    def test_check_coerces_truthiness(self):
+        figure = self.make()
+        figure.check("coerced", 1)
+        assert figure.checks[0].passed is True
+
+    def test_write_csv(self, tmp_path):
+        figure = self.make()
+        path = figure.write_csv(tmp_path)
+        assert path.endswith("figX.csv")
+        with open(path) as handle:
+            assert handle.read().splitlines() == ["k", "1"]

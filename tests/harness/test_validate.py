@@ -1,0 +1,90 @@
+"""Tests for the user-facing equivalence validator."""
+
+import pytest
+
+from repro.core.dilation import NetworkProfile
+from repro.harness.experiments import run_bulk
+from repro.harness.validate import assert_equivalent, check_equivalent
+from repro.simnet.units import mbps, ms
+
+
+def bulk_runner(perceived, tdf):
+    result = run_bulk(perceived, tdf, duration_s=1.5, warmup_s=0.25)
+    return {
+        "goodput_bps": result.goodput_bps,
+        "segments": result.segments_sent,
+        "per_flow": result.per_flow_goodput_bps,
+    }
+
+
+def test_good_workload_passes():
+    report = assert_equivalent(
+        bulk_runner, NetworkProfile.from_rtt(mbps(10), ms(20)), tdf=10,
+    )
+    assert report.passed
+    assert "ok" in report.summary()
+
+
+def test_broken_workload_fails_with_report():
+    def physical_time_runner(perceived, tdf):
+        # A "workload" that (incorrectly) reports physical time: obviously
+        # not dilation-safe.
+        result = run_bulk(perceived, tdf, duration_s=1.0)
+        return {"physical_goodput": result.goodput_bps / float(tdf)}
+
+    with pytest.raises(AssertionError) as excinfo:
+        assert_equivalent(
+            physical_time_runner,
+            NetworkProfile.from_rtt(mbps(10), ms(20)),
+            tdf=10,
+        )
+    assert "physical_goodput" in str(excinfo.value)
+    assert "FAIL" in str(excinfo.value)
+
+
+def test_check_does_not_raise():
+    def noisy_runner(perceived, tdf):
+        return {"value": 1.0 if float(tdf) == 1 else 1.5}
+
+    report = check_equivalent(
+        noisy_runner, NetworkProfile.from_rtt(mbps(10), ms(20)), tdf=10,
+    )
+    assert not report.passed
+    assert len(report.failures()) == 1
+    assert report.failures()[0].name == "value"
+
+
+def test_list_metrics_compared_elementwise():
+    def runner(perceived, tdf):
+        return {"shares": [1.0, 2.0, 3.0]}
+
+    report = check_equivalent(
+        runner, NetworkProfile.from_rtt(mbps(10), ms(20)), tdf=10,
+    )
+    assert report.passed
+
+
+def test_mismatched_list_lengths_fail():
+    calls = {"n": 0}
+
+    def runner(perceived, tdf):
+        calls["n"] += 1
+        return {"xs": [1.0] * calls["n"]}
+
+    report = check_equivalent(
+        runner, NetworkProfile.from_rtt(mbps(10), ms(20)), tdf=10,
+    )
+    assert not report.passed
+
+
+def test_differing_metric_sets_rejected():
+    calls = {"n": 0}
+
+    def runner(perceived, tdf):
+        calls["n"] += 1
+        return {"a": 1.0} if calls["n"] == 1 else {"b": 1.0}
+
+    with pytest.raises(ValueError):
+        check_equivalent(
+            runner, NetworkProfile.from_rtt(mbps(10), ms(20)), tdf=10,
+        )

@@ -1,0 +1,183 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simnet.engine import Simulator
+from repro.simnet.errors import SchedulingError
+
+
+def test_time_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(2.0, lambda: order.append("b"))
+    sim.schedule(1.0, lambda: order.append("a"))
+    sim.schedule(3.0, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_by_scheduling_order():
+    sim = Simulator()
+    order = []
+    for label in "abcde":
+        sim.schedule(1.0, lambda l=label: order.append(l))
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [1.5]
+    assert sim.now == 1.5
+
+
+def test_zero_delay_event_runs_after_current_instant_events():
+    sim = Simulator()
+    order = []
+    def first():
+        order.append("first")
+        sim.schedule(0.0, lambda: order.append("nested"))
+    sim.schedule(1.0, first)
+    sim.schedule(1.0, lambda: order.append("second"))
+    sim.run()
+    assert order == ["first", "second", "nested"]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SchedulingError):
+        Simulator().schedule(-0.1, lambda: None)
+
+
+def test_call_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SchedulingError):
+        sim.call_at(1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_run():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append(1))
+    event.cancel()
+    sim.run()
+    assert fired == []
+    assert sim.pending() == 0
+
+
+def test_run_until_stops_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(5.0, lambda: fired.append(5))
+    sim.run(until=2.0)
+    assert fired == [1]
+    assert sim.now == 2.0
+    sim.run()
+    assert fired == [1, 5]
+
+
+def test_run_until_exact_boundary_inclusive():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, lambda: fired.append(2))
+    sim.run(until=2.0)
+    assert fired == [2]
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def rearm():
+        sim.schedule(1.0, rearm)
+
+    sim.schedule(1.0, rearm)
+    with pytest.raises(SchedulingError):
+        sim.run(max_events=100)
+
+
+def test_stop_halts_loop():
+    sim = Simulator()
+    fired = []
+    def fire_and_stop():
+        fired.append(1)
+        sim.stop()
+
+    sim.schedule(1.0, fire_and_stop)
+    sim.schedule(2.0, lambda: fired.append(2))
+    sim.run()
+    assert fired == [1]
+    assert sim.pending() == 1
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def nested():
+        sim.run()
+
+    sim.schedule(1.0, nested)
+    with pytest.raises(SchedulingError):
+        sim.run()
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    first = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    first.cancel()
+    assert sim.peek_time() == 2.0
+
+
+def test_peek_time_empty_queue():
+    assert Simulator().peek_time() is None
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(7):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.events_processed == 7
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+def test_property_events_fire_in_sorted_order(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0, max_value=100), st.booleans()),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_property_cancellation_exactness(items):
+    """Exactly the non-cancelled events run, regardless of interleaving."""
+    sim = Simulator()
+    ran = []
+    expected = 0
+    for index, (delay, keep) in enumerate(items):
+        event = sim.schedule(delay, lambda i=index: ran.append(i))
+        if keep:
+            expected += 1
+        else:
+            event.cancel()
+    sim.run()
+    assert len(ran) == expected

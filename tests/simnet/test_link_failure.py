@@ -1,0 +1,102 @@
+"""Tests for link failure, rerouting, and restoration."""
+
+import pytest
+
+from repro.simnet.errors import RoutingError
+from repro.simnet.packet import Packet
+from repro.simnet.topology import Network
+from repro.simnet.units import mbps, ms
+from repro.tcp.stack import TcpStack
+from tests.helpers import Collector
+
+
+class Sink:
+    def __init__(self):
+        self.packets = []
+
+    def deliver(self, packet):
+        self.packets.append(packet)
+
+
+def triangle():
+    """a—b direct (fast) plus a—c—b detour."""
+    net = Network()
+    a, b, c = net.add_node("a"), net.add_node("b"), net.add_node("c")
+    direct = net.add_link(a, b, mbps(100), ms(1))
+    net.add_link(a, c, mbps(100), ms(5))
+    net.add_link(c, b, mbps(100), ms(5))
+    net.finalize()
+    return net, a, b, c, direct
+
+
+def test_failover_to_detour():
+    net, a, b, c, direct = triangle()
+    sink = Sink()
+    b.register_protocol("raw", sink)
+    a.send(Packet(src="a", dst="b", protocol="raw", size_bytes=100))
+    net.run()
+    first_arrival = net.sim.now
+    assert first_arrival < 0.002  # direct path
+
+    net.fail_link(direct)
+    a.send(Packet(src="a", dst="b", protocol="raw", size_bytes=100))
+    net.run()
+    assert len(sink.packets) == 2
+    # The detour is 10 ms of propagation.
+    assert net.sim.now - first_arrival >= 0.010
+
+
+def test_restore_returns_to_direct_path():
+    net, a, b, c, direct = triangle()
+    sink = Sink()
+    b.register_protocol("raw", sink)
+    net.fail_link(direct)
+    net.restore_link(direct)
+    a.send(Packet(src="a", dst="b", protocol="raw", size_bytes=100))
+    net.run()
+    assert net.sim.now < 0.002
+
+
+def test_partition_drops_transit_and_raises_at_origin():
+    net = Network()
+    a, r, b = net.add_node("a"), net.add_node("r"), net.add_node("b")
+    first = net.add_link(a, r, mbps(10), ms(1))
+    second = net.add_link(r, b, mbps(10), ms(1))
+    net.finalize()
+    sink = Sink()
+    b.register_protocol("raw", sink)
+    # Fail the far link *after* a packet is committed to the first hop:
+    # the router must drop it (no route), not crash the simulation.
+    a.send(Packet(src="a", dst="b", protocol="raw", size_bytes=100))
+    net.fail_link(second)
+    net.run()
+    assert sink.packets == []
+    assert r.no_route_drops == 1
+    # At the origin, the missing route is a host error.
+    with pytest.raises(RoutingError):
+        a.send(Packet(src="a", dst="b", protocol="raw", size_bytes=100))
+
+
+def test_downed_interface_counts_drops():
+    net, a, b, c, direct = triangle()
+    direct.a_to_b.up = False
+    direct.a_to_b.send(Packet(src="a", dst="b", protocol="raw", size_bytes=50))
+    assert direct.a_to_b.down_drops == 1
+
+
+def test_tcp_flow_survives_failover():
+    """A TCP transfer rides out a mid-flight link failure via RTO and the
+    rerouted path."""
+    net, a, b, c, direct = triangle()
+    events = Collector()
+    TcpStack(b).listen(80, events.on_accept, on_data=events.on_data)
+    client = TcpStack(a).connect("b", 80)
+    client.send(2_000_000)
+    net.run(until=0.05)
+    assert 0 < events.total_bytes < 2_000_000
+    net.fail_link(direct)
+    net.run(until=30.0)
+    assert events.total_bytes == 2_000_000
+    # The cut was felt: everything in flight on the dead link needed
+    # retransmission (possibly repaired by SACK without any RTO).
+    assert client.retransmits >= 1

@@ -1,0 +1,170 @@
+"""Unit tests for nodes, forwarding, and shortest-path routing."""
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.errors import AddressError, ConfigurationError, RoutingError
+from repro.simnet.packet import Packet
+from repro.simnet.routing import compute_routes, shortest_path
+from repro.simnet.topology import Network, build_chain, build_dumbbell, build_star
+
+
+class Sink:
+    def __init__(self):
+        self.packets = []
+
+    def deliver(self, packet):
+        self.packets.append(packet)
+
+
+def test_protocol_demux():
+    net = Network()
+    a = net.add_node("a")
+    sink_tcp, sink_udp = Sink(), Sink()
+    a.register_protocol("tcp", sink_tcp)
+    a.register_protocol("udp", sink_udp)
+    a.send(Packet(src="a", dst="a", protocol="udp", size_bytes=10))
+    net.run()
+    assert len(sink_udp.packets) == 1
+    assert len(sink_tcp.packets) == 0
+
+
+def test_duplicate_protocol_registration_rejected():
+    net = Network()
+    a = net.add_node("a")
+    a.register_protocol("tcp", Sink())
+    with pytest.raises(AddressError):
+        a.register_protocol("tcp", Sink())
+
+
+def test_protocol_lookup_missing_raises():
+    net = Network()
+    a = net.add_node("a")
+    with pytest.raises(AddressError):
+        a.protocol("nope")
+
+
+def test_unhandled_packets_counted_not_raised():
+    net = Network()
+    a = net.add_node("a")
+    a.send(Packet(src="a", dst="a", protocol="mystery", size_bytes=10))
+    net.run()
+    assert a.unhandled_packets == 1
+
+
+def test_no_route_raises():
+    net = Network()
+    a = net.add_node("a")
+    with pytest.raises(RoutingError):
+        a.send(Packet(src="a", dst="b", protocol="tcp", size_bytes=10))
+
+
+def test_duplicate_node_name_rejected():
+    net = Network()
+    net.add_node("a")
+    with pytest.raises(ConfigurationError):
+        net.add_node("a")
+
+
+def test_node_lookup():
+    net = Network()
+    a = net.add_node("a")
+    assert net.node("a") is a
+    with pytest.raises(ConfigurationError):
+        net.node("zzz")
+
+
+def test_forwarding_through_chain():
+    chain = build_chain(hops=3, bandwidth_bps=1e9, per_hop_delay_s=0.001)
+    net = chain.network
+    sink = Sink()
+    chain.nodes[-1].register_protocol("raw", sink)
+    chain.nodes[0].send(
+        Packet(src=chain.nodes[0].name, dst=chain.nodes[-1].name,
+               protocol="raw", size_bytes=100)
+    )
+    net.run()
+    assert len(sink.packets) == 1
+    # Three hops consumed two TTL decrements (intermediate nodes only).
+    assert sink.packets[0].ttl == 64 - 2
+
+
+def test_shortest_path_prefers_low_delay():
+    net = Network()
+    a, b, c = net.add_node("a"), net.add_node("b"), net.add_node("c")
+    net.add_link(a, b, 1e6, delay_s=0.010)       # direct but slow path
+    net.add_link(a, c, 1e6, delay_s=0.001)
+    net.add_link(c, b, 1e6, delay_s=0.001)       # via c: 2 ms total
+    paths = shortest_path(a, net.nodes.values(), net.links)
+    cost, path = paths["b"]
+    assert path == ["a", "c", "b"]
+    assert cost == pytest.approx(0.002)
+
+
+def test_compute_routes_next_hops():
+    net = Network()
+    a, b, c = net.add_node("a"), net.add_node("b"), net.add_node("c")
+    net.add_link(a, b, 1e6, 0.001)
+    net.add_link(b, c, 1e6, 0.001)
+    tables = compute_routes(net.nodes.values(), net.links)
+    assert tables["a"]["c"] == "b"
+    assert tables["c"]["a"] == "b"
+    assert tables["b"]["a"] == "a"
+
+
+def test_shortest_path_unknown_source():
+    net = Network()
+    net.add_node("a")
+    other = Network().add_node("x")
+    with pytest.raises(RoutingError):
+        shortest_path(other, net.nodes.values(), net.links)
+
+
+def test_dumbbell_connectivity_all_pairs():
+    bell = build_dumbbell(
+        pairs=3, access_bandwidth_bps=1e9,
+        bottleneck_bandwidth_bps=1e7, bottleneck_delay_s=0.01,
+    )
+    sink = Sink()
+    bell.receivers[2].register_protocol("raw", sink)
+    bell.senders[0].send(
+        Packet(src="s0", dst="d2", protocol="raw", size_bytes=100)
+    )
+    bell.network.run()
+    assert len(sink.packets) == 1
+
+
+def test_dumbbell_validates_pairs():
+    with pytest.raises(ConfigurationError):
+        build_dumbbell(0, 1e9, 1e7, 0.01)
+
+
+def test_star_leaf_to_leaf():
+    star = build_star(leaves=4, leaf_bandwidth_bps=1e8, leaf_delay_s=0.002)
+    sink = Sink()
+    star.leaves[3].register_protocol("raw", sink)
+    star.leaves[0].send(Packet(src="h0", dst="h3", protocol="raw", size_bytes=100))
+    star.network.run()
+    assert len(sink.packets) == 1
+    # Two hops through the hub: 2x propagation + 2x serialisation.
+    assert star.network.sim.now == pytest.approx(0.002 * 2 + (800 / 1e8) * 2)
+
+
+def test_star_validates_leaves():
+    with pytest.raises(ConfigurationError):
+        build_star(0, 1e8, 0.001)
+
+
+def test_chain_validates_hops():
+    with pytest.raises(ConfigurationError):
+        build_chain(0, 1e8, 0.001)
+
+
+def test_loopback_send_to_self():
+    net = Network()
+    a = net.add_node("a")
+    sink = Sink()
+    a.register_protocol("raw", sink)
+    a.send(Packet(src="a", dst="a", protocol="raw", size_bytes=10))
+    net.run()
+    assert len(sink.packets) == 1

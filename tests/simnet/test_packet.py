@@ -1,0 +1,39 @@
+"""Unit tests for packets."""
+
+import pytest
+
+from repro.simnet.errors import RoutingError
+from repro.simnet.packet import DEFAULT_TTL, Packet
+
+
+def test_size_bits():
+    packet = Packet(src="a", dst="b", protocol="tcp", size_bytes=125)
+    assert packet.size_bits == 1000.0
+
+
+def test_uids_are_unique_and_increasing():
+    first = Packet(src="a", dst="b", protocol="tcp", size_bytes=1)
+    second = Packet(src="a", dst="b", protocol="tcp", size_bytes=1)
+    assert second.uid > first.uid
+
+
+def test_rejects_nonpositive_size():
+    with pytest.raises(ValueError):
+        Packet(src="a", dst="b", protocol="tcp", size_bytes=0)
+
+
+def test_default_ttl():
+    packet = Packet(src="a", dst="b", protocol="tcp", size_bytes=1)
+    assert packet.ttl == DEFAULT_TTL
+
+
+def test_hop_decrements_ttl():
+    packet = Packet(src="a", dst="b", protocol="tcp", size_bytes=1, ttl=3)
+    packet.hop()
+    assert packet.ttl == 2
+
+
+def test_ttl_expiry_raises():
+    packet = Packet(src="a", dst="b", protocol="tcp", size_bytes=1, ttl=1)
+    with pytest.raises(RoutingError):
+        packet.hop()

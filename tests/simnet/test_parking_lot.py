@@ -1,0 +1,64 @@
+"""Tests for the parking-lot topology and its classic fairness result."""
+
+import pytest
+
+from repro.simnet.errors import ConfigurationError
+from repro.simnet.topology import build_parking_lot
+from repro.simnet.units import mbps, ms
+from repro.tcp.stack import TcpStack
+from tests.helpers import Collector
+
+
+def test_shape():
+    lot = build_parking_lot(3, mbps(10), ms(5))
+    assert len(lot.routers) == 4
+    assert len(lot.bottlenecks) == 3
+    assert len(lot.cross_sources) == 3
+    # Through path crosses every router.
+    from repro.simnet.routing import shortest_path
+
+    paths = shortest_path(
+        lot.through_source, lot.network.nodes.values(), lot.network.links
+    )
+    _, path = paths[lot.through_sink.name]
+    assert path[1:-1] == [r.name for r in lot.routers]
+
+
+def test_validates_hops():
+    with pytest.raises(ConfigurationError):
+        build_parking_lot(1, mbps(10), ms(5))
+
+
+def test_through_flow_disadvantaged_against_cross_flows():
+    """The classic parking-lot result: a flow crossing N bottlenecks gets
+    less than the one-hop cross flows competing at each of them."""
+    lot = build_parking_lot(3, mbps(10), ms(5))
+    net = lot.network
+
+    sinks = {}
+
+    def attach_sink(node, label):
+        events = Collector()
+        TcpStack(node).listen(80, events.on_accept, on_data=events.on_data)
+        sinks[label] = events
+
+    attach_sink(lot.through_sink, "through")
+    for index, node in enumerate(lot.cross_sinks):
+        attach_sink(node, f"cross{index}")
+
+    TcpStack(lot.through_source).connect(
+        lot.through_sink.name, 80).send(1 << 30)
+    for index, node in enumerate(lot.cross_sources):
+        TcpStack(node).connect(
+            lot.cross_sinks[index].name, 80).send(1 << 30)
+
+    net.run(until=15.0)
+    through = sinks["through"].total_bytes
+    crosses = [sinks[f"cross{i}"].total_bytes for i in range(3)]
+    assert through > 0
+    for cross in crosses:
+        assert cross > through  # each one-hop flow beats the through flow
+    # Each bottleneck is saturated by its pair of flows.
+    for index, cross in enumerate(crosses):
+        carried = (cross + through) * 8 / 15.0
+        assert carried > 0.7 * mbps(10)

@@ -1,0 +1,165 @@
+"""Unit tests for drop-tail and RED queueing disciplines."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simnet.errors import ConfigurationError
+from repro.simnet.packet import Packet
+from repro.simnet.queues import DropTailQueue, REDQueue
+
+
+def make_packet(size=1000):
+    return Packet(src="a", dst="b", protocol="raw", size_bytes=size)
+
+
+class TestDropTail:
+    def test_fifo_order(self):
+        queue = DropTailQueue(capacity_packets=10)
+        packets = [make_packet() for _ in range(3)]
+        for packet in packets:
+            assert queue.offer(packet)
+        assert [queue.poll() for _ in range(3)] == packets
+
+    def test_poll_empty_returns_none(self):
+        assert DropTailQueue().poll() is None
+
+    def test_packet_capacity_enforced(self):
+        queue = DropTailQueue(capacity_packets=2)
+        assert queue.offer(make_packet())
+        assert queue.offer(make_packet())
+        assert not queue.offer(make_packet())
+        assert queue.stats.dropped_packets == 1
+        assert len(queue) == 2
+
+    def test_byte_capacity_enforced(self):
+        queue = DropTailQueue(capacity_packets=None, capacity_bytes=2500)
+        assert queue.offer(make_packet(1000))
+        assert queue.offer(make_packet(1000))
+        assert not queue.offer(make_packet(1000))  # would exceed 2500
+        assert queue.offer(make_packet(400))
+        assert queue.byte_length == 2400
+
+    def test_both_capacities_whichever_first(self):
+        queue = DropTailQueue(capacity_packets=10, capacity_bytes=1500)
+        assert queue.offer(make_packet(1000))
+        assert not queue.offer(make_packet(1000))
+
+    def test_byte_accounting_across_poll(self):
+        queue = DropTailQueue()
+        queue.offer(make_packet(700))
+        queue.offer(make_packet(300))
+        assert queue.byte_length == 1000
+        queue.poll()
+        assert queue.byte_length == 300
+
+    def test_requires_some_capacity_limit(self):
+        with pytest.raises(ConfigurationError):
+            DropTailQueue(capacity_packets=None, capacity_bytes=None)
+
+    @pytest.mark.parametrize("packets,bytes_", [(0, None), (-1, None), (None, 0)])
+    def test_rejects_nonpositive_capacity(self, packets, bytes_):
+        with pytest.raises(ConfigurationError):
+            DropTailQueue(capacity_packets=packets, capacity_bytes=bytes_)
+
+    def test_drop_rate(self):
+        queue = DropTailQueue(capacity_packets=1)
+        queue.offer(make_packet())
+        queue.offer(make_packet())
+        queue.offer(make_packet())
+        assert queue.stats.drop_rate == pytest.approx(2 / 3)
+
+    def test_drop_rate_no_arrivals_is_zero(self):
+        assert DropTailQueue().stats.drop_rate == 0.0
+
+    @given(st.lists(st.integers(min_value=1, max_value=1500), max_size=60))
+    def test_property_conservation(self, sizes):
+        """Everything offered is either queued, dropped, or dequeued."""
+        queue = DropTailQueue(capacity_packets=20)
+        for size in sizes:
+            queue.offer(make_packet(size))
+        drained = 0
+        while queue.poll() is not None:
+            drained += 1
+        stats = queue.stats
+        assert stats.enqueued_packets == drained
+        assert stats.enqueued_packets + stats.dropped_packets == len(sizes)
+        assert queue.byte_length == 0
+
+
+class TestRed:
+    def test_below_min_th_never_drops(self):
+        queue = REDQueue(capacity_packets=100, min_th=50, max_th=80, rng=random.Random(1))
+        for _ in range(30):
+            assert queue.offer(make_packet())
+        assert queue.stats.dropped_packets == 0
+
+    def test_hard_capacity_always_drops(self):
+        queue = REDQueue(capacity_packets=10, min_th=2, max_th=9, rng=random.Random(1))
+        for _ in range(10):
+            queue.offer(make_packet())
+        # Queue now physically full; further arrivals must drop.
+        assert not queue.offer(make_packet())
+
+    def test_average_tracks_queue_slowly(self):
+        queue = REDQueue(weight=0.5, rng=random.Random(1))
+        queue.offer(make_packet())
+        first = queue.average_queue
+        queue.offer(make_packet())
+        assert queue.average_queue > first
+
+    def test_early_drops_happen_between_thresholds(self):
+        rng = random.Random(42)
+        queue = REDQueue(
+            capacity_packets=1000, min_th=5, max_th=20, max_p=0.5, weight=0.5, rng=rng
+        )
+        outcomes = [queue.offer(make_packet()) for _ in range(400)]
+        assert queue.stats.dropped_packets > 0
+        assert any(outcomes)  # not everything dropped either
+
+    def test_above_max_th_forces_drop(self):
+        queue = REDQueue(
+            capacity_packets=1000, min_th=1, max_th=3, max_p=1.0, weight=1.0,
+            rng=random.Random(1),
+        )
+        for _ in range(10):
+            queue.offer(make_packet())
+        # With weight 1 the average equals the instantaneous queue, which is
+        # beyond max_th; everything now early-drops.
+        assert not queue.offer(make_packet())
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            queue = REDQueue(min_th=2, max_th=10, weight=0.9, rng=random.Random(seed))
+            return [queue.offer(make_packet()) for _ in range(100)]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8) or True  # different seeds may coincide; no assert
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_th": 0, "max_th": 10},
+            {"min_th": 10, "max_th": 10},
+            {"min_th": 5, "max_th": 300, "capacity_packets": 100},
+            {"max_p": 0.0},
+            {"max_p": 1.5},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            REDQueue(**kwargs)
+
+    def test_fifo_order_preserved(self):
+        queue = REDQueue(rng=random.Random(1))
+        packets = [make_packet() for _ in range(5)]
+        for packet in packets:
+            queue.offer(packet)
+        drained = []
+        while True:
+            item = queue.poll()
+            if item is None:
+                break
+            drained.append(item)
+        assert drained == packets

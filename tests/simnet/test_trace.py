@@ -1,0 +1,77 @@
+"""Unit tests for packet tracing."""
+
+import pytest
+
+from repro.core.clock import DilatedClock
+from repro.simnet.engine import Simulator
+from repro.simnet.link import Link
+from repro.simnet.node import Node
+from repro.simnet.packet import Packet
+from repro.simnet.trace import PacketTrace
+
+
+class Sink:
+    def deliver(self, packet):
+        pass
+
+
+def wired_pair(sim):
+    a, b = Node(sim, "a"), Node(sim, "b")
+    link = Link(sim, a, b, bandwidth_bps=1e6, delay_s=0.0)
+    a.set_route("b", link.a_to_b)
+    b.register_protocol("raw", Sink())
+    return a, b, link
+
+
+def send_n(a, n, flow_id=None, size=1250):
+    for _ in range(n):
+        a.send(Packet(src="a", dst="b", protocol="raw", size_bytes=size, flow_id=flow_id))
+
+
+def test_records_rx_by_default():
+    sim = Simulator()
+    a, b, link = wired_pair(sim)
+    trace = PacketTrace(link.b_to_a)
+    send_n(a, 3)
+    sim.run()
+    assert len(trace) == 3
+    assert all(record.kind == "rx" for record in trace.records)
+
+
+def test_interarrivals_physical():
+    sim = Simulator()
+    a, b, link = wired_pair(sim)
+    trace = PacketTrace(link.b_to_a)
+    send_n(a, 3)  # back-to-back at 1 Mbps, 1250 B -> 10 ms spacing
+    sim.run()
+    assert trace.interarrivals() == pytest.approx([0.010, 0.010])
+
+
+def test_interarrivals_in_virtual_time():
+    sim = Simulator()
+    a, b, link = wired_pair(sim)
+    trace = PacketTrace(link.b_to_a)
+    clock = DilatedClock(sim, tdf=10)
+    send_n(a, 3)
+    sim.run()
+    assert trace.interarrivals(clock) == pytest.approx([0.001, 0.001])
+
+
+def test_flow_filter():
+    sim = Simulator()
+    a, b, link = wired_pair(sim)
+    trace = PacketTrace(link.b_to_a, flow_id="wanted")
+    send_n(a, 2, flow_id="wanted")
+    send_n(a, 5, flow_id="other")
+    sim.run()
+    assert len(trace) == 2
+
+
+def test_kind_filter_and_total_bytes():
+    sim = Simulator()
+    a, b, link = wired_pair(sim)
+    trace = PacketTrace(link.a_to_b, kinds=("tx",))
+    send_n(a, 4, size=500)
+    sim.run()
+    assert len(trace) == 4
+    assert trace.total_bytes() == 2000

@@ -1,0 +1,80 @@
+"""Unit tests for unit helpers and quantity parsing."""
+
+import pytest
+
+from repro.simnet import units
+
+
+def test_time_helpers():
+    assert units.usec(5) == pytest.approx(5e-6)
+    assert units.ms(40) == pytest.approx(0.040)
+    assert units.seconds(3) == 3.0
+    assert units.minutes(2) == 120.0
+
+
+def test_rate_helpers():
+    assert units.kbps(56) == 56_000
+    assert units.mbps(100) == 100_000_000
+    assert units.gbps(10) == 10_000_000_000
+
+
+def test_size_helpers():
+    assert units.kib(4) == 4096
+    assert units.mib(1) == 1_048_576
+    assert units.bytes_to_bits(100) == 800
+    assert units.bits_to_bytes(800) == 100
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("100Mbps", 100e6),
+        ("1.5gbps", 1.5e9),
+        ("56 Kbps", 56e3),
+        ("9600bps", 9600.0),
+    ],
+)
+def test_parse_rate(text, expected):
+    assert units.parse_rate(text) == pytest.approx(expected)
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("40ms", 0.040),
+        ("1.5s", 1.5),
+        ("250us", 250e-6),
+        ("2 min", 120.0),
+    ],
+)
+def test_parse_time(text, expected):
+    assert units.parse_time(text) == pytest.approx(expected)
+
+
+@pytest.mark.parametrize("bad", ["", "Mbps", "100", "100 furlongs", "-5Mbps"])
+def test_parse_rate_rejects_garbage(bad):
+    with pytest.raises(ValueError):
+        units.parse_rate(bad)
+
+
+@pytest.mark.parametrize("bad", ["", "ms", "10 lightyears"])
+def test_parse_time_rejects_garbage(bad):
+    with pytest.raises(ValueError):
+        units.parse_time(bad)
+
+
+def test_format_rate_picks_natural_unit():
+    assert units.format_rate(12_000_000_000) == "12.00 Gbps"
+    assert units.format_rate(100_000_000) == "100.00 Mbps"
+    assert units.format_rate(56_000) == "56.00 Kbps"
+    assert units.format_rate(300) == "300.00 bps"
+
+
+def test_format_time_picks_natural_unit():
+    assert units.format_time(2.5) == "2.500 s"
+    assert units.format_time(0.040) == "40.000 ms"
+    assert units.format_time(2e-5) == "20.0 us"
+
+
+def test_parse_format_roundtrip():
+    assert units.parse_rate(units.format_rate(units.mbps(250)).replace(" ", "")) == units.mbps(250)

@@ -1,0 +1,93 @@
+"""Unit tests for percentiles, CDFs, and the KS statistic."""
+
+import numpy
+import pytest
+from hypothesis import given, strategies as st
+from scipy import stats as scipy_stats
+
+from repro.stats.cdf import Cdf, ks_distance, percentile
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 50) == 5.0
+
+    def test_extremes(self):
+        data = [5.0, 1.0, 9.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 9.0
+
+    def test_single_sample(self):
+        assert percentile([7.0], 90) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+    @given(
+        st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=100),
+        st.floats(min_value=0, max_value=100),
+    )
+    def test_property_matches_numpy_linear(self, data, q):
+        expected = float(numpy.percentile(data, q))
+        assert percentile(data, q) == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+
+class TestCdf:
+    def test_evaluate(self):
+        cdf = Cdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.evaluate(0.5) == 0.0
+        assert cdf.evaluate(1.0) == 0.25
+        assert cdf.evaluate(2.5) == 0.5
+        assert cdf.evaluate(10.0) == 1.0
+
+    def test_median_and_quantile(self):
+        cdf = Cdf([1.0, 2.0, 3.0])
+        assert cdf.median == 2.0
+        assert cdf.quantile(1.0) == 3.0
+
+    def test_points_monotone(self):
+        cdf = Cdf([1.0, 5.0, 2.0, 8.0, 3.0])
+        points = cdf.points(steps=20)
+        probabilities = [p for _, p in points]
+        assert probabilities == sorted(probabilities)
+        assert probabilities[-1] == 1.0
+
+    def test_points_degenerate(self):
+        assert Cdf([2.0, 2.0]).points() == [(2.0, 1.0)]
+
+    def test_points_needs_steps(self):
+        with pytest.raises(ValueError):
+            Cdf([1.0, 2.0]).points(steps=1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Cdf([])
+
+
+class TestKs:
+    def test_identical_samples_zero(self):
+        data = [1.0, 2.0, 3.0]
+        assert ks_distance(data, data) == 0.0
+
+    def test_disjoint_samples_one(self):
+        assert ks_distance([1.0, 2.0], [10.0, 11.0]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_distance([], [1.0])
+
+    @given(
+        st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=80),
+        st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=80),
+    )
+    def test_property_matches_scipy(self, a, b):
+        expected = scipy_stats.ks_2samp(a, b, method="asymp").statistic
+        assert ks_distance(a, b) == pytest.approx(float(expected), abs=1e-9)

@@ -1,0 +1,97 @@
+"""Unit tests for clock-aware meters — including dilation behaviour."""
+
+import pytest
+
+from repro.core.clock import DilatedClock
+from repro.simnet.clock import PhysicalClock
+from repro.simnet.engine import Simulator
+from repro.stats.meters import IntervalRecorder, LatencyMeter, ThroughputMeter
+
+
+def advance(sim, seconds):
+    sim.schedule(seconds, lambda: None)
+    sim.run()
+
+
+class TestThroughputMeter:
+    def test_rate_physical(self):
+        sim = Simulator()
+        meter = ThroughputMeter(PhysicalClock(sim))
+        meter.add(1250)
+        advance(sim, 1.0)
+        assert meter.rate_bps() == pytest.approx(10_000)
+
+    def test_rate_zero_elapsed(self):
+        sim = Simulator()
+        meter = ThroughputMeter(PhysicalClock(sim))
+        meter.add(100)
+        assert meter.rate_bps() == 0.0
+
+    def test_dilated_meter_reports_scaled_rate(self):
+        """The paper's effect: a TDF-10 guest sees 10x the physical rate."""
+        sim = Simulator()
+        meter = ThroughputMeter(DilatedClock(sim, tdf=10))
+        meter.add(12500)  # 100 kb over 10 physical seconds...
+        advance(sim, 10.0)
+        # ...is 1 virtual second -> 100 kbps perceived, 10x the physical rate.
+        assert meter.rate_bps() == pytest.approx(100_000)
+
+    def test_interval_rate(self):
+        sim = Simulator()
+        meter = ThroughputMeter(PhysicalClock(sim))
+        meter.add(1000)
+        advance(sim, 1.0)
+        assert meter.interval_rate_bps() == pytest.approx(8000)
+        meter.add(500)
+        advance(sim, 1.0)
+        assert meter.interval_rate_bps() == pytest.approx(4000)
+
+
+class TestIntervalRecorder:
+    def test_interarrivals(self):
+        sim = Simulator()
+        recorder = IntervalRecorder(PhysicalClock(sim))
+        for t in (1.0, 1.5, 3.0):
+            sim.call_at(t, recorder.mark)
+        sim.run()
+        assert recorder.interarrivals() == pytest.approx([0.5, 1.5])
+        assert len(recorder) == 3
+
+    def test_dilated_recorder_scales_gaps(self):
+        sim = Simulator()
+        recorder = IntervalRecorder(DilatedClock(sim, tdf=10))
+        for t in (10.0, 20.0):
+            sim.call_at(t, recorder.mark)
+        sim.run()
+        assert recorder.interarrivals() == pytest.approx([1.0])
+
+
+class TestLatencyMeter:
+    def test_start_stop(self):
+        sim = Simulator()
+        meter = LatencyMeter(PhysicalClock(sim))
+        meter.start("op")
+        advance(sim, 0.25)
+        assert meter.stop("op") == pytest.approx(0.25)
+        assert meter.summary.mean == pytest.approx(0.25)
+
+    def test_stop_unknown_returns_none(self):
+        sim = Simulator()
+        meter = LatencyMeter(PhysicalClock(sim))
+        assert meter.stop("ghost") is None
+
+    def test_in_flight(self):
+        sim = Simulator()
+        meter = LatencyMeter(PhysicalClock(sim))
+        meter.start(1)
+        meter.start(2)
+        assert meter.in_flight == 2
+        meter.stop(1)
+        assert meter.in_flight == 1
+
+    def test_dilated_latency_is_virtual(self):
+        sim = Simulator()
+        meter = LatencyMeter(DilatedClock(sim, tdf=10))
+        meter.start("op")
+        advance(sim, 1.0)  # 1 physical second = 0.1 virtual
+        assert meter.stop("op") == pytest.approx(0.1)

@@ -1,0 +1,87 @@
+"""Unit tests for the Welford summary."""
+
+import statistics
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats.summary import Summary
+
+
+def test_empty_summary():
+    s = Summary()
+    assert s.count == 0
+    assert s.mean == 0.0
+    assert s.variance == 0.0
+    assert s.minimum == 0.0
+    assert s.maximum == 0.0
+
+
+def test_single_value():
+    s = Summary()
+    s.add(5.0)
+    assert s.mean == 5.0
+    assert s.variance == 0.0
+    assert s.minimum == 5.0
+    assert s.maximum == 5.0
+    assert s.total == 5.0
+
+
+def test_known_values():
+    s = Summary()
+    s.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+    assert s.mean == pytest.approx(5.0)
+    assert s.stdev == pytest.approx(statistics.stdev([2, 4, 4, 4, 5, 5, 7, 9]))
+    assert s.minimum == 2.0
+    assert s.maximum == 9.0
+
+
+def test_merge_equals_combined():
+    left, right, combined = Summary(), Summary(), Summary()
+    data_left = [1.0, 2.0, 3.0]
+    data_right = [10.0, 20.0]
+    left.extend(data_left)
+    right.extend(data_right)
+    combined.extend(data_left + data_right)
+    merged = left.merge(right)
+    assert merged.count == combined.count
+    assert merged.mean == pytest.approx(combined.mean)
+    assert merged.variance == pytest.approx(combined.variance)
+    assert merged.minimum == combined.minimum
+    assert merged.maximum == combined.maximum
+
+
+def test_merge_with_empty():
+    s = Summary()
+    s.extend([1.0, 2.0])
+    merged = s.merge(Summary())
+    assert merged.count == 2
+    assert merged.mean == pytest.approx(1.5)
+
+
+def test_merge_two_empties():
+    assert Summary().merge(Summary()).count == 0
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=200))
+def test_property_matches_statistics_module(values):
+    s = Summary()
+    s.extend(values)
+    assert s.mean == pytest.approx(statistics.fmean(values), rel=1e-9, abs=1e-6)
+    assert s.variance == pytest.approx(statistics.variance(values), rel=1e-6, abs=1e-6)
+    assert s.minimum == min(values)
+    assert s.maximum == max(values)
+
+
+@given(
+    st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=1, max_size=50),
+    st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=1, max_size=50),
+)
+def test_property_merge_associative_with_extend(a, b):
+    left, right, combined = Summary(), Summary(), Summary()
+    left.extend(a)
+    right.extend(b)
+    combined.extend(a + b)
+    merged = left.merge(right)
+    assert merged.mean == pytest.approx(combined.mean, rel=1e-9, abs=1e-9)
+    assert merged.variance == pytest.approx(combined.variance, rel=1e-6, abs=1e-9)

@@ -1,0 +1,157 @@
+"""Unit tests for congestion-control algorithms."""
+
+import pytest
+
+from repro.simnet.errors import ConfigurationError
+from repro.tcp.cc import (
+    Cubic,
+    NewReno,
+    Reno,
+    Tahoe,
+    initial_window,
+    make_congestion_control,
+)
+
+MSS = 1460
+
+
+def test_initial_window_rfc3390():
+    assert initial_window(1460) == 4380
+    assert initial_window(500) == 2000   # 4*mss < 4380
+    assert initial_window(3000) == 6000  # 2*mss > 4380
+
+
+def test_factory():
+    assert isinstance(make_congestion_control("tahoe", MSS), Tahoe)
+    assert isinstance(make_congestion_control("reno", MSS), Reno)
+    assert isinstance(make_congestion_control("newreno", MSS), NewReno)
+    assert isinstance(make_congestion_control("cubic", MSS), Cubic)
+    from repro.tcp.cc import Vegas
+
+    assert isinstance(make_congestion_control("vegas", MSS), Vegas)
+    with pytest.raises(ConfigurationError):
+        make_congestion_control("westwood", MSS)
+
+
+def test_invalid_mss():
+    with pytest.raises(ConfigurationError):
+        Reno(0)
+
+
+def test_slow_start_doubles_per_rtt():
+    cc = Reno(MSS)
+    start = cc.cwnd
+    # One RTT's worth of ACKs: each full-MSS ACK adds one MSS.
+    acks = int(start // MSS)
+    for _ in range(acks):
+        cc.on_ack(MSS, flight_size=int(start), now=0.0)
+    assert cc.cwnd == pytest.approx(start * 2)
+
+
+def test_congestion_avoidance_linear():
+    cc = Reno(MSS)
+    cc.ssthresh = cc.cwnd  # force CA from the start
+    window = cc.cwnd
+    acks = int(window // MSS)
+    for _ in range(acks):
+        cc.on_ack(MSS, flight_size=int(window), now=0.0)
+    # One MSS per RTT growth (approximately).
+    assert cc.cwnd == pytest.approx(window + MSS, rel=0.05)
+
+
+def test_timeout_collapses_to_one_mss():
+    cc = Reno(MSS)
+    cc.cwnd = 100 * MSS
+    cc.on_retransmit_timeout(flight_size=100 * MSS, now=0.0)
+    assert cc.cwnd == MSS
+    assert cc.ssthresh == pytest.approx(50 * MSS)
+
+
+def test_ssthresh_floor_two_mss():
+    cc = Reno(MSS)
+    cc.on_retransmit_timeout(flight_size=MSS, now=0.0)
+    assert cc.ssthresh == 2 * MSS
+
+
+def test_reno_fast_recovery_inflation_and_exit():
+    cc = Reno(MSS)
+    cc.cwnd = 20 * MSS
+    cc.on_enter_recovery(flight_size=20 * MSS, now=0.0)
+    assert cc.ssthresh == pytest.approx(10 * MSS)
+    assert cc.cwnd == pytest.approx(13 * MSS)  # ssthresh + 3 MSS
+    cc.on_dup_ack_in_recovery()
+    assert cc.cwnd == pytest.approx(14 * MSS)
+    cc.on_exit_recovery(now=0.0)
+    assert cc.cwnd == pytest.approx(10 * MSS)
+
+
+def test_newreno_partial_ack_deflation():
+    cc = NewReno(MSS)
+    cc.cwnd = 20 * MSS
+    cc.on_enter_recovery(flight_size=20 * MSS, now=0.0)
+    before = cc.cwnd
+    cc.on_partial_ack(5 * MSS)
+    assert cc.cwnd == pytest.approx(before - 5 * MSS + MSS)
+
+
+def test_partial_ack_never_below_one_mss():
+    cc = NewReno(MSS)
+    cc.cwnd = 2 * MSS
+    cc.on_partial_ack(10 * MSS)
+    assert cc.cwnd == MSS
+
+
+def test_tahoe_no_fast_recovery():
+    cc = Tahoe(MSS)
+    assert not cc.supports_fast_recovery
+    cc.cwnd = 30 * MSS
+    cc.on_enter_recovery(flight_size=30 * MSS, now=0.0)
+    assert cc.cwnd == MSS  # collapse, not inflate
+    assert cc.ssthresh == pytest.approx(15 * MSS)
+
+
+def test_slow_start_respects_ssthresh_boundary():
+    cc = Reno(MSS)
+    cc.ssthresh = cc.cwnd + MSS / 2
+    cc.on_ack(MSS, flight_size=int(cc.cwnd), now=0.0)
+    # Next ACK is in CA (cwnd >= ssthresh): growth less than one MSS.
+    before = cc.cwnd
+    cc.on_ack(MSS, flight_size=int(cc.cwnd), now=0.0)
+    assert cc.cwnd - before < MSS
+
+
+class TestCubic:
+    def test_grows_like_reno_before_first_loss(self):
+        cubic, reno = Cubic(MSS), Reno(MSS)
+        cubic.ssthresh = reno.ssthresh = 0  # both in "avoidance"
+        for _ in range(10):
+            cubic.on_ack(MSS, flight_size=10 * MSS, now=0.0)
+            reno.on_ack(MSS, flight_size=10 * MSS, now=0.0)
+        assert cubic.cwnd == pytest.approx(reno.cwnd)
+
+    def test_beta_decrease_on_loss(self):
+        cc = Cubic(MSS)
+        cc.cwnd = 100 * MSS
+        cc.on_enter_recovery(flight_size=100 * MSS, now=1.0)
+        assert cc.ssthresh == pytest.approx(70 * MSS)
+
+    def test_concave_recovery_toward_w_max(self):
+        cc = Cubic(MSS)
+        cc.cwnd = 100 * MSS
+        cc.on_enter_recovery(flight_size=100 * MSS, now=0.0)
+        cc.on_exit_recovery(now=0.0)
+        start = cc.cwnd
+        # Feed ACKs at advancing times; window should climb back toward
+        # w_max (100 segments) and be concave (no overshoot early).
+        now = 0.0
+        for _ in range(2000):
+            now += 0.01
+            cc.on_ack(MSS, flight_size=int(cc.cwnd), now=now)
+        assert start < cc.cwnd
+        assert cc.cwnd > 90 * MSS
+
+    def test_timeout_resets_to_one_mss(self):
+        cc = Cubic(MSS)
+        cc.cwnd = 50 * MSS
+        cc.on_retransmit_timeout(flight_size=50 * MSS, now=2.0)
+        assert cc.cwnd == MSS

@@ -1,0 +1,122 @@
+"""Tests for ECN: RED marking, ECE echo, CWR confirmation, and the
+no-retransmit rate reduction — including under dilation."""
+
+import random
+
+import pytest
+
+from repro.core.vmm import Hypervisor
+from repro.simnet.queues import REDQueue
+from repro.simnet.topology import Network
+from repro.simnet.units import mbps, ms
+from repro.tcp import TcpOptions
+from repro.tcp.stack import TcpStack
+
+
+def run_ecn_transfer(ecn, tdf=1, duration_virtual=5.0, seed=11,
+                     bandwidth=mbps(20), delay=ms(10)):
+    """One flow over a RED bottleneck in marking mode; returns stats."""
+    net = Network()
+    a = net.add_node("a")
+    b = net.add_node("b")
+    queue_rng = random.Random(seed)
+    queues = []
+
+    def queue_factory():
+        queue = REDQueue(
+            capacity_packets=200, min_th=15, max_th=60,
+            rng=queue_rng, clock=net.sim,
+            mean_packet_time_s=1500 * 8 / bandwidth,
+            ecn_marking=True,
+        )
+        queues.append(queue)
+        return queue
+
+    net.add_link(a, b, bandwidth, delay, queue_factory=queue_factory)
+    net.finalize()
+    vmm = Hypervisor(net.sim)
+    vmm.create_vm("vma", tdf=tdf, cpu_share=0.5, node=a)
+    vm_b = vmm.create_vm("vmb", tdf=tdf, cpu_share=0.5, node=b)
+    options = TcpOptions(ecn=ecn)
+    received = {"bytes": 0}
+    TcpStack(b, default_options=options).listen(
+        80, lambda s: None,
+        on_data=lambda s, n: received.__setitem__("bytes", received["bytes"] + n),
+    )
+    client = TcpStack(a, default_options=options).connect("b", 80)
+    client.send(1 << 30)
+    net.run(until=vm_b.clock.to_physical(duration_virtual))
+    return {
+        "bytes": received["bytes"],
+        "retransmits": client.retransmits,
+        "timeouts": client.timeouts,
+        "marks": queues[0].marked_packets,
+        "drops": queues[0].stats.dropped_packets,
+        "goodput": received["bytes"] * 8 / duration_virtual,
+    }
+
+
+def test_ecn_flow_is_marked_not_dropped():
+    result = run_ecn_transfer(ecn=True)
+    assert result["marks"] > 0
+    # In the probabilistic region everything is a mark; only hard overflow
+    # could drop, and a responsive flow should avoid it entirely.
+    assert result["drops"] == 0
+    assert result["retransmits"] == 0
+
+
+def test_non_ecn_flow_suffers_drops():
+    result = run_ecn_transfer(ecn=False)
+    assert result["marks"] == 0
+    assert result["drops"] > 0
+    assert result["retransmits"] > 0
+
+
+def test_ecn_keeps_goodput_competitive():
+    ecn = run_ecn_transfer(ecn=True)
+    loss = run_ecn_transfer(ecn=False)
+    assert ecn["goodput"] >= 0.85 * loss["goodput"]
+    assert ecn["goodput"] > 0.6 * mbps(20)
+
+
+def test_ecn_sender_still_backs_off():
+    """Marks must actually reduce the window: goodput stays below raw line
+    rate because the source keeps yielding to the AQM."""
+    result = run_ecn_transfer(ecn=True)
+    assert result["marks"] > 3  # repeated reductions over the run
+
+
+def test_ecn_equivalence_under_dilation():
+    """ECN equivalence is statistical, not bit-exact: RED's marking
+    probability runs through the idle-decay exponent, where the last-ulp
+    difference between ``t*k`` and summed dilated timestamps occasionally
+    flips a razor-edge RNG comparison. Each flip perturbs the control
+    loop, so runs agree like repeated testbed trials do."""
+    base = run_ecn_transfer(ecn=True, tdf=1, seed=21)
+    dilated_net = run_ecn_transfer(ecn=True, tdf=10, seed=21,
+                                   bandwidth=mbps(2), delay=ms(100))
+    assert dilated_net["bytes"] == pytest.approx(base["bytes"], rel=0.10)
+    assert dilated_net["marks"] == pytest.approx(base["marks"], rel=0.15)
+    assert dilated_net["retransmits"] == base["retransmits"] == 0
+    assert dilated_net["drops"] == base["drops"] == 0
+
+
+def test_pure_acks_not_ecn_capable():
+    from repro.simnet.packet import Packet
+    from repro.tcp.segment import Segment
+    from repro.simnet.topology import Network as Net
+
+    net = Net()
+    node = net.add_node("a")
+    stack = TcpStack(node, default_options=TcpOptions(ecn=True))
+    sent = []
+    node.send = lambda packet: sent.append(packet)
+    sock = stack.connect("peer", 80)
+    sock.handle_segment(Segment(src_port=80, dst_port=sock.local_port,
+                                seq=0, ack=1, syn=True, ack_flag=True,
+                                window=1 << 20))
+    sock.send(5000)
+    data = [p for p in sent if p.payload.length > 0]
+    acks = [p for p in sent if p.payload.length == 0 and not p.payload.syn]
+    assert all(p.ecn_capable for p in data)
+    assert all(not p.ecn_capable for p in acks)

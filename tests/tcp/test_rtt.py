@@ -1,0 +1,101 @@
+"""Unit tests for the RFC 6298 RTT estimator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tcp.rtt import RttEstimator
+
+
+def test_initial_rto():
+    assert RttEstimator(initial_rto=1.0).rto == 1.0
+
+
+def test_first_sample_initialises_srtt_and_var():
+    est = RttEstimator()
+    est.observe(0.100)
+    assert est.srtt == pytest.approx(0.100)
+    assert est.rttvar == pytest.approx(0.050)
+    # RTO = srtt + 4*rttvar = 0.3
+    assert est.rto == pytest.approx(0.300)
+
+
+def test_ewma_updates():
+    est = RttEstimator()
+    est.observe(0.100)
+    est.observe(0.100)
+    assert est.srtt == pytest.approx(0.100)
+    assert est.rttvar == pytest.approx(0.0375)  # (1-1/4)*0.05 + 1/4*0
+
+
+def test_min_rto_floor():
+    est = RttEstimator(min_rto=0.2)
+    for _ in range(20):
+        est.observe(0.001)
+    assert est.rto == pytest.approx(0.2)
+
+
+def test_max_rto_ceiling():
+    est = RttEstimator(max_rto=60.0)
+    est.observe(100.0)
+    assert est.rto == 60.0
+
+
+def test_backoff_doubles_until_cap():
+    est = RttEstimator(initial_rto=1.0, max_rto=8.0)
+    est.backoff()
+    assert est.rto == 2.0
+    est.backoff()
+    assert est.rto == 4.0
+    est.backoff()
+    est.backoff()
+    assert est.rto == 8.0  # capped
+
+
+def test_sample_clears_backoff():
+    est = RttEstimator(min_rto=0.2)
+    est.observe(0.1)
+    est.backoff()
+    assert est.rto > 0.3
+    est.observe(0.1)
+    assert est.rto < 0.4
+
+
+def test_negative_sample_rejected():
+    with pytest.raises(ValueError):
+        RttEstimator().observe(-0.1)
+
+
+def test_reset():
+    est = RttEstimator(initial_rto=1.0)
+    est.observe(0.05)
+    est.backoff()
+    est.reset()
+    assert est.srtt is None
+    assert est.rto == 1.0
+    assert est.samples == 0
+
+
+def test_sample_counter():
+    est = RttEstimator()
+    for _ in range(5):
+        est.observe(0.1)
+    assert est.samples == 5
+
+
+@given(st.lists(st.floats(min_value=1e-6, max_value=10), min_size=1, max_size=100))
+def test_property_rto_always_within_bounds(samples):
+    est = RttEstimator(min_rto=0.2, max_rto=60.0)
+    for sample in samples:
+        est.observe(sample)
+        assert 0.2 <= est.rto <= 60.0
+        assert est.srtt is not None and est.srtt > 0
+        assert est.rttvar is not None and est.rttvar >= 0
+
+
+@given(st.floats(min_value=1e-4, max_value=5.0))
+def test_property_constant_rtt_converges(value):
+    est = RttEstimator(min_rto=1e-6)
+    for _ in range(200):
+        est.observe(value)
+    assert est.srtt == pytest.approx(value, rel=1e-3)
+    assert est.rttvar == pytest.approx(0.0, abs=value * 0.01)

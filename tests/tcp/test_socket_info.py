@@ -1,0 +1,43 @@
+"""Tests for the socket introspection snapshot."""
+
+import pytest
+
+from repro.simnet.units import mbps, ms
+from tests.helpers import Collector, two_hosts
+
+
+def test_info_snapshot_fields():
+    net, a, b, sa, sb, _ = two_hosts(bandwidth_bps=mbps(10), delay_s=ms(10))
+    events = Collector()
+    sb.listen(80, events.on_accept, on_data=events.on_data)
+    client = sa.connect("b", 80)
+    client.send(500_000)
+    net.run(until=3.0)
+    info = client.info()
+    assert info["state"] == "ESTABLISHED"
+    assert info["local"] == f"a:{client.local_port}"
+    assert info["remote"] == "b:80"
+    assert info["flavor"] == "newreno"
+    assert info["cwnd"] > 0
+    # Propagation RTT is 20 ms; queueing at the 10 Mbps bottleneck can add
+    # a few tens of ms on top.
+    assert 0.020 <= info["srtt"] <= 0.100
+    assert info["bytes_acked"] >= 500_000
+    assert info["segments_sent"] > 0
+    assert info["retransmits"] == 0
+    assert info["in_recovery"] is False
+
+
+def test_info_reflects_progress():
+    net, a, b, sa, sb, _ = two_hosts()
+    events = Collector()
+    sb.listen(80, events.on_accept, on_data=events.on_data)
+    client = sa.connect("b", 80)
+    before = client.info()
+    assert before["state"] in ("SYN_SENT", "ESTABLISHED")
+    client.send(10_000)
+    net.run(until=2.0)
+    after = client.info()
+    assert after["snd_una"] > before["snd_una"]
+    server_info = events.accepted[0].info()
+    assert server_info["bytes_received"] == 10_000

@@ -1,0 +1,97 @@
+"""Unit tests for the UDP layer."""
+
+import pytest
+
+from repro.simnet.errors import AddressError
+from repro.simnet.topology import Network
+from repro.udp.socket import UdpStack
+
+
+def wired_pair():
+    net = Network()
+    a = net.add_node("a")
+    b = net.add_node("b")
+    net.add_link(a, b, 1e6, 0.005)
+    net.finalize()
+    return net, UdpStack(a), UdpStack(b)
+
+
+def test_datagram_delivery():
+    net, ua, ub = wired_pair()
+    received = []
+    ub.bind(5000, lambda sock, dgram: received.append(dgram))
+    sender = ua.bind(None)
+    sender.sendto("b", 5000, 100, payload={"x": 1})
+    net.run()
+    assert len(received) == 1
+    assert received[0].payload == {"x": 1}
+    assert received[0].src_addr == "a"
+    assert received[0].src_port == sender.port
+
+
+def test_reply_to_source():
+    net, ua, ub = wired_pair()
+    replies = []
+
+    def echo(sock, dgram):
+        sock.sendto(dgram.src_addr, dgram.src_port, 50, payload="pong")
+
+    ub.bind(7, echo)
+    client = ua.bind(None, lambda sock, dgram: replies.append(dgram.payload))
+    client.sendto("b", 7, 50, payload="ping")
+    net.run()
+    assert replies == ["pong"]
+
+
+def test_unbound_port_counted_dropped():
+    net, ua, ub = wired_pair()
+    ua.bind(None).sendto("b", 12345, 10)
+    net.run()
+    assert ub.dropped_unbound == 1
+
+
+def test_double_bind_rejected():
+    _, ua, _ = wired_pair()
+    ua.bind(5000)
+    with pytest.raises(AddressError):
+        ua.bind(5000)
+
+
+def test_close_releases_port():
+    _, ua, _ = wired_pair()
+    sock = ua.bind(5000)
+    sock.close()
+    ua.bind(5000)  # no error
+
+
+def test_send_after_close_rejected():
+    _, ua, _ = wired_pair()
+    sock = ua.bind(None)
+    sock.close()
+    with pytest.raises(AddressError):
+        sock.sendto("b", 7, 10)
+
+
+def test_negative_size_rejected():
+    _, ua, _ = wired_pair()
+    sock = ua.bind(None)
+    with pytest.raises(AddressError):
+        sock.sendto("b", 7, -1)
+
+
+def test_ephemeral_ports_distinct():
+    _, ua, _ = wired_pair()
+    ports = {ua.bind(None).port for _ in range(10)}
+    assert len(ports) == 10
+
+
+def test_counters():
+    net, ua, ub = wired_pair()
+    received = []
+    server = ub.bind(5000, lambda sock, dgram: received.append(dgram))
+    client = ua.bind(None)
+    for _ in range(3):
+        client.sendto("b", 5000, 10)
+    net.run()
+    assert client.datagrams_sent == 3
+    assert server.datagrams_received == 3

@@ -1,0 +1,88 @@
+"""Unit tests for workload distributions."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simnet.errors import ConfigurationError
+from repro.workloads.distributions import (
+    PoissonProcess,
+    ZipfSampler,
+    exponential_interarrival,
+)
+
+
+class TestZipf:
+    def test_single_item_always_zero(self):
+        sampler = ZipfSampler(1, rng=random.Random(1))
+        assert all(sampler.sample() == 0 for _ in range(10))
+
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(20, exponent=0.8, rng=random.Random(1))
+        total = sum(sampler.probability(i) for i in range(20))
+        assert total == pytest.approx(1.0)
+
+    def test_rank_ordering(self):
+        sampler = ZipfSampler(10, exponent=1.0, rng=random.Random(1))
+        probabilities = [sampler.probability(i) for i in range(10)]
+        assert probabilities == sorted(probabilities, reverse=True)
+        assert probabilities[0] == pytest.approx(2 * probabilities[1], rel=1e-9)
+
+    def test_exponent_zero_is_uniform(self):
+        sampler = ZipfSampler(5, exponent=0.0, rng=random.Random(1))
+        for i in range(5):
+            assert sampler.probability(i) == pytest.approx(0.2)
+
+    def test_empirical_frequencies_match(self):
+        sampler = ZipfSampler(5, exponent=1.0, rng=random.Random(42))
+        counts = [0] * 5
+        n = 20000
+        for _ in range(n):
+            counts[sampler.sample()] += 1
+        for i in range(5):
+            assert counts[i] / n == pytest.approx(sampler.probability(i), abs=0.02)
+
+    def test_determinism(self):
+        a = ZipfSampler(10, rng=random.Random(7))
+        b = ZipfSampler(10, rng=random.Random(7))
+        assert [a.sample() for _ in range(50)] == [b.sample() for _ in range(50)]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ZipfSampler(0)
+        with pytest.raises(ConfigurationError):
+            ZipfSampler(5, exponent=-1)
+        with pytest.raises(ConfigurationError):
+            ZipfSampler(5, rng=random.Random(0)).probability(5)
+
+    @given(st.integers(min_value=1, max_value=100), st.floats(min_value=0, max_value=3))
+    @settings(max_examples=25)
+    def test_property_samples_in_range(self, n, exponent):
+        sampler = ZipfSampler(n, exponent=exponent, rng=random.Random(0))
+        for _ in range(50):
+            assert 0 <= sampler.sample() < n
+
+
+class TestPoisson:
+    def test_mean_interarrival(self):
+        rng = random.Random(3)
+        gaps = [exponential_interarrival(10.0, rng) for _ in range(20000)]
+        assert sum(gaps) / len(gaps) == pytest.approx(0.1, rel=0.05)
+
+    def test_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            exponential_interarrival(0.0, random.Random(0))
+        with pytest.raises(ConfigurationError):
+            PoissonProcess(-1.0)
+
+    def test_arrivals_until_horizon(self):
+        process = PoissonProcess(100.0, rng=random.Random(5))
+        arrivals = process.arrivals_until(2.0)
+        assert all(0 < t < 2.0 for t in arrivals)
+        assert arrivals == sorted(arrivals)
+        assert len(arrivals) == pytest.approx(200, rel=0.25)
+
+    def test_gaps_positive(self):
+        process = PoissonProcess(5.0, rng=random.Random(9))
+        assert all(process.next_gap() > 0 for _ in range(100))

@@ -1,0 +1,64 @@
+"""Unit tests for the SPECweb99-like mix."""
+
+import random
+
+import pytest
+
+from repro.simnet.errors import ConfigurationError
+from repro.workloads.specweb import CLASS_WEIGHTS, FILES_PER_CLASS, SpecWebMix
+
+
+def test_document_tree_shape():
+    mix = SpecWebMix(rng=random.Random(1))
+    assert len(mix.files) == 4
+    for class_files in mix.files:
+        assert len(class_files) == FILES_PER_CLASS
+
+
+def test_file_sizes_span_three_orders_of_magnitude():
+    mix = SpecWebMix(rng=random.Random(1))
+    smallest = mix.files[0][0].size_bytes
+    largest = mix.files[3][-1].size_bytes
+    assert smallest == 102
+    assert largest == 102400 * 9
+    assert largest / smallest > 1000
+
+
+def test_class_mix_empirical():
+    mix = SpecWebMix(rng=random.Random(42))
+    counts = [0, 0, 0, 0]
+    n = 20000
+    for _ in range(n):
+        counts[mix.sample().file_class] += 1
+    for class_index, weight in enumerate(CLASS_WEIGHTS):
+        assert counts[class_index] / n == pytest.approx(weight, abs=0.02)
+
+
+def test_mean_file_size_matches_empirical():
+    mix = SpecWebMix(rng=random.Random(7))
+    analytic = mix.mean_file_size()
+    n = 30000
+    empirical = sum(mix.sample().size_bytes for _ in range(n)) / n
+    assert empirical == pytest.approx(analytic, rel=0.1)
+
+
+def test_file_name_roundtrip():
+    mix = SpecWebMix(rng=random.Random(1))
+    file = mix.sample()
+    assert mix.file_by_name(file.name) == file
+
+
+def test_file_by_name_invalid():
+    mix = SpecWebMix(rng=random.Random(1))
+    with pytest.raises(ConfigurationError):
+        mix.file_by_name("/nope")
+    with pytest.raises(ConfigurationError):
+        mix.file_by_name("/class9/file0")
+
+
+def test_determinism():
+    a = SpecWebMix(rng=random.Random(5))
+    b = SpecWebMix(rng=random.Random(5))
+    assert [a.sample().name for _ in range(100)] == [
+        b.sample().name for _ in range(100)
+    ]

@@ -100,6 +100,20 @@ class DilatedClock(Clock):
         """Run ``fn`` at absolute *virtual* time ``when``."""
         return self.sim.call_at(self.to_physical(when), fn)
 
+    def reschedule_in(self, event: Event, delay: float) -> Event:
+        """Re-arm ``event`` after ``delay`` *virtual* seconds.
+
+        Mirrors :meth:`call_in`'s arithmetic exactly (TDF-scaled relative
+        delay, not an absolute virtual deadline) so a rescheduled timer
+        fires at the bit-identical physical instant a cancel-and-recreate
+        would have — the determinism contract of the fast path.
+        """
+        if delay < 0:
+            raise SchedulingError(f"negative virtual delay: {delay}")
+        physical_delay = self._tdf.virtual_to_physical(delay)
+        event.reschedule(self.sim.now + physical_delay)
+        return event
+
     # ------------------------------------------------------------- dynamic TDF
 
     def set_tdf(self, tdf: TdfLike) -> None:

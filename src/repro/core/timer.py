@@ -22,6 +22,7 @@ class Timer:
     """A cancellable one-shot timer armed in virtual time."""
 
     def __init__(self, clock: Clock, delay: float, fn: Callable[[], None]) -> None:
+        self._clock = clock
         self._fired = False
         self._cancelled = False
 
@@ -45,6 +46,21 @@ class Timer:
         """Disarm; safe after firing or repeated calls."""
         self._cancelled = True
         self._event.cancel()
+
+    def reset(self, delay: float) -> None:
+        """Re-arm the timer ``delay`` virtual seconds from now.
+
+        Valid in any state (pending, fired, cancelled) and reuses the
+        underlying engine event instead of allocating a new one — the fast
+        path for repeatedly re-armed timeouts (retransmission, stall
+        detection) that previously cancelled and recreated a Timer per
+        re-arm, leaving a trail of dead heap entries.
+        """
+        if delay < 0:
+            raise SchedulingError(f"negative timer delay: {delay}")
+        self._fired = False
+        self._cancelled = False
+        self._clock.reschedule_in(self._event, delay)
 
 
 class PeriodicTimer:
@@ -90,7 +106,10 @@ class PeriodicTimer:
             self._stopped = True
             return
         self._next_deadline += self._period
-        self._event = self._clock.call_at(self._next_deadline, self._tick)
+        # Re-key the just-fired event rather than allocating a new one per
+        # tick: periodic timers (choke rounds, measurement intervals) are
+        # the steady-state heartbeat of long runs.
+        self._clock.reschedule_at(self._event, self._next_deadline)
 
     def stop(self) -> None:
         """Stop ticking; safe to call from within the callback."""

@@ -40,6 +40,12 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="also write each experiment's table to DIR/<id>.csv",
     )
+    parser.add_argument(
+        "--profile-engine",
+        action="store_true",
+        help="append an event-engine profile (events/sec, heap stats, "
+             "per-component histogram) to each experiment's report",
+    )
     return parser
 
 
@@ -59,7 +65,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"unknown figure {figure_id!r}; use --list", file=sys.stderr)
             return 2
         started = time.time()
-        result = run_figure(figure_id)
+        result = run_figure(figure_id, profile_engine=args.profile_engine)
         elapsed = time.time() - started
         print(result.render())
         print(f"  ({elapsed:.1f} s wall)")

@@ -91,6 +91,8 @@ class BulkFlowResult:
     srtt: Optional[float]
     segments_sent: int
     interarrivals: List[float] = field(default_factory=list)
+    #: Total engine events executed by the run (determinism fingerprint).
+    events_processed: int = 0
 
 
 def run_bulk(
@@ -195,6 +197,7 @@ def run_bulk(
         srtt=first.rtt.srtt if first is not None else None,
         segments_sent=sum(c.socket.segments_sent for c in clients if c.socket),
         interarrivals=interarrivals,
+        events_processed=net.sim.events_processed,
     )
 
 
@@ -291,6 +294,8 @@ class BitTorrentResult:
     leechers: int
     seed_uploaded_bytes: int
     total_downloaded_bytes: int
+    #: Total engine events executed by the run (determinism fingerprint).
+    events_processed: int = 0
 
 
 def run_bittorrent(
@@ -350,6 +355,7 @@ def run_bittorrent(
         leechers=leechers,
         seed_uploaded_bytes=swarm.seeds[0].bytes_uploaded,
         total_downloaded_bytes=sum(p.bytes_downloaded for p in swarm.leechers),
+        events_processed=net.sim.events_processed,
     )
 
 

@@ -787,12 +787,25 @@ def figure_ids() -> List[str]:
     return list(FIGURES)
 
 
-def run_figure(figure_id: str) -> FigureResult:
-    """Run one experiment by id."""
+def run_figure(figure_id: str, profile_engine: bool = False) -> FigureResult:
+    """Run one experiment by id.
+
+    With ``profile_engine=True`` every simulator the experiment constructs
+    is profiled (events/sec, heap hygiene, per-component histogram) and the
+    rendered profile is attached as ``result.engine_profile``. Profiling
+    never perturbs results — figures are bit-identical either way.
+    """
     try:
         fn = FIGURES[figure_id]
     except KeyError:
         raise KeyError(
             f"unknown figure {figure_id!r}; known: {', '.join(FIGURES)}"
         ) from None
-    return fn()
+    if not profile_engine:
+        return fn()
+    from ..stats.engineprof import profiled
+
+    with profiled() as profiler:
+        result = fn()
+    result.engine_profile = profiler.render()
+    return result

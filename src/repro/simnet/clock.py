@@ -21,6 +21,7 @@ import abc
 from typing import Callable
 
 from .engine import Event, Simulator
+from .errors import SchedulingError
 
 __all__ = ["Clock", "PhysicalClock"]
 
@@ -47,6 +48,30 @@ class Clock(abc.ABC):
     @abc.abstractmethod
     def to_local(self, physical_time: float) -> float:
         """Map a physical engine timestamp to local time."""
+
+    # The reschedule fast path: re-key an existing event instead of
+    # cancelling it and allocating a new one. Subclasses whose call_in
+    # arithmetic differs from ``to_physical(now() + delay)`` MUST override
+    # :meth:`reschedule_in` with the exact same float operations as their
+    # ``call_in`` — a one-ulp difference in a deadline changes event order
+    # and breaks bit-exact determinism against the allocate-per-arm path.
+
+    def reschedule_in(self, event: Event, delay: float) -> Event:
+        """Re-arm ``event`` to fire ``delay`` local seconds from now.
+
+        Equivalent to cancelling it and calling :meth:`call_in` with the
+        same callback, including tie-breaking order, but without the Event
+        and closure allocations. Works on fired and cancelled events too.
+        """
+        if delay < 0:
+            raise SchedulingError(f"negative timer delay: {delay}")
+        event.reschedule(self.to_physical(self.now() + delay))
+        return event
+
+    def reschedule_at(self, event: Event, when: float) -> Event:
+        """Re-arm ``event`` to fire at absolute local time ``when``."""
+        event.reschedule(self.to_physical(when))
+        return event
 
 
 class PhysicalClock(Clock):

@@ -13,40 +13,136 @@ Two events at the same physical timestamp are ordered by a monotonically
 increasing sequence number assigned at scheduling time. Combined with seeded
 RNGs in the workloads, a simulation is a pure function of its configuration,
 which is what lets the benchmark harness assert that a dilated run matches
-its scaled baseline.
+its scaled baseline. :meth:`Event.reschedule` deliberately assigns a fresh
+sequence number on every re-keying so that a rescheduled timer ties exactly
+like the cancel-and-recreate pattern it replaces — optimisations must never
+change event order.
+
+Hot-path design
+---------------
+The heap stores ``(time, seq, event)`` tuples so ordering comparisons run
+at C speed. Cancellation and rescheduling are *lazy*: the heap entry stays
+behind and is recognised as dead because its ``seq`` no longer matches the
+event's current ``seq`` (cancel sets the event's seq to -1; reschedule
+re-keys it). A live-event counter makes :meth:`Simulator.pending` O(1), and
+when dead entries outnumber live ones the heap is compacted in one O(n)
+pass — without this, workloads that cancel a timer per ACK (TCP does)
+grow the heap without bound and every push/pop pays an inflated log n.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Callable, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from .errors import SchedulingError
 
 __all__ = ["Event", "Simulator"]
 
+#: Compaction triggers only beyond this many dead entries, so small
+#: simulations never pay the O(n) sweep.
+_COMPACT_MIN_DEAD = 64
+
+#: Profiler auto-attached to every Simulator constructed while set (see
+#: :func:`set_default_profiler`). Duck-typed so the engine does not import
+#: the stats layer.
+_default_profiler = None
+
+
+def set_default_profiler(profiler) -> None:
+    """Auto-attach ``profiler`` to every Simulator constructed from now on.
+
+    Experiment runners build their simulators internally; this hook is how
+    the harness profiles a whole figure regeneration without threading a
+    profiler through every runner signature. Pass ``None`` to clear.
+    """
+    global _default_profiler
+    _default_profiler = profiler
+
 
 class Event:
     """A scheduled callback handle.
 
-    The heap itself stores ``(time, seq, event)`` tuples so ordering
-    comparisons run at C speed; the Event object is the cancellation
-    handle. Cancelled events keep their place in the heap and are skipped
-    when popped (lazy deletion).
+    The heap itself stores ``(time, seq, event)`` tuples; the Event object
+    is the cancellation / rescheduling handle. A heap entry is live only
+    while its ``seq`` matches the event's current ``seq``: cancelling sets
+    the event's seq to -1 and rescheduling re-keys it, so stale entries are
+    skipped when popped (lazy deletion) or swept out by compaction.
     """
 
-    __slots__ = ("time", "seq", "fn", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim", "_live",
+                 "_transient")
 
-    def __init__(self, time: float, seq: int, fn: Callable[[], None]) -> None:
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., None],
+        args: Tuple[Any, ...],
+        sim: "Simulator",
+    ) -> None:
         self.time = time
         self.seq = seq
         self.fn = fn
+        self.args = args
         self.cancelled = False
+        self._sim = sim
+        #: True while the event is queued and will fire (the simulator's
+        #: live counter includes it).
+        self._live = True
+        #: Pool-managed events are recycled after execution; user code never
+        #: sees a handle to them (see :meth:`Simulator.schedule_transient`).
+        self._transient = False
+
+    @property
+    def active(self) -> bool:
+        """Armed and not yet fired or cancelled."""
+        return self._live
 
     def cancel(self) -> None:
-        """Prevent the callback from running; safe to call more than once."""
-        self.cancelled = True
+        """Prevent the callback from running; safe to call more than once.
+
+        The heap entry is left behind and reaped lazily (or by compaction);
+        only the O(1) bookkeeping happens here.
+        """
+        if self._live:
+            self._live = False
+            self.cancelled = True
+            self.seq = -1
+            sim = self._sim
+            sim._live -= 1
+            if (
+                len(sim._queue) - sim._live
+                > max(_COMPACT_MIN_DEAD, sim._live)
+            ):
+                sim._compact()
+
+    def reschedule(self, time: float) -> None:
+        """Re-key the event to fire at absolute physical ``time``.
+
+        This is the fast path for repeatedly re-armed timers (TCP RTO,
+        delayed ACK, periodic ticks): it replaces a ``cancel()`` plus a
+        fresh :meth:`Simulator.call_at` without allocating a new Event or
+        closure. Works on pending, fired, *and* cancelled events — the
+        latter two re-arm the timer. A fresh sequence number is assigned so
+        same-timestamp ordering is identical to cancel-and-recreate.
+        """
+        sim = self._sim
+        if time < sim._now:
+            raise SchedulingError(
+                f"cannot reschedule at {time}; current time is {sim._now}"
+            )
+        if not self._live:
+            self._live = True
+            self.cancelled = False
+            sim._live += 1
+        # else: the stale heap entry (old seq) becomes garbage below.
+        self.time = time
+        self.seq = seq = sim._seq
+        sim._seq = seq + 1
+        heapq.heappush(sim._queue, (time, seq, self))
+        if len(sim._queue) - sim._live > max(_COMPACT_MIN_DEAD, sim._live):
+            sim._compact()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = " cancelled" if self.cancelled else ""
@@ -72,30 +168,49 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._queue: list[Event] = []
-        self._seq = itertools.count()
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._seq = 0
+        self._live = 0
         self._running = False
         self._stopped = False
         #: Number of events executed so far (observability / debugging).
         self.events_processed = 0
+        #: Number of O(n) heap compaction sweeps performed.
+        self.compactions = 0
+        #: Dead (cancelled / re-keyed) heap entries discarded, lazily or
+        #: by compaction.
+        self.dead_entries_reaped = 0
+        #: Largest heap length observed at a push (includes dead entries).
+        self.max_heap_len = 0
+        #: Optional :class:`repro.stats.engineprof.EngineProfiler` hook;
+        #: when attached, the run loop reports each executed event to it.
+        self._profiler = None
+        #: Freelist of recycled transient events.
+        self._event_pool: List[Event] = []
+        if _default_profiler is not None:
+            self.attach_profiler(_default_profiler)
 
     @property
     def now(self) -> float:
         """Current physical time in seconds."""
         return self._now
 
-    def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
-        """Schedule ``fn`` to run ``delay`` seconds from now.
+    # ------------------------------------------------------------- scheduling
+
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
 
         ``delay`` must be non-negative; a zero delay runs the callback after
-        all events already scheduled for the current instant.
+        all events already scheduled for the current instant. Passing the
+        callback's arguments positionally (instead of binding them in a
+        lambda) avoids a closure allocation on hot paths.
         """
         if delay < 0:
             raise SchedulingError(f"negative delay: {delay}")
-        return self.call_at(self._now + delay, fn)
+        return self.call_at(self._now + delay, fn, *args)
 
-    def call_at(self, time: float, fn: Callable[[], None]) -> Event:
-        """Schedule ``fn`` at an absolute physical time.
+    def call_at(self, time: float, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at an absolute physical time.
 
         Scheduling in the past is an error: the world cannot be rewound.
         """
@@ -103,9 +218,51 @@ class Simulator:
             raise SchedulingError(
                 f"cannot schedule at {time}; current time is {self._now}"
             )
-        event = Event(time, next(self._seq), fn)
-        heapq.heappush(self._queue, (time, event.seq, event))
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, fn, args, self)
+        self._live += 1
+        queue = self._queue
+        heapq.heappush(queue, (time, seq, event))
+        if len(queue) > self.max_heap_len:
+            self.max_heap_len = len(queue)
         return event
+
+    def schedule_transient(
+        self, delay: float, fn: Callable[..., None], *args: Any
+    ) -> None:
+        """Schedule a fire-and-forget callback with a pooled Event.
+
+        For internal per-packet events (serialisation completion, delivery)
+        that are never cancelled: the Event object is recycled after it
+        fires, so steady-state packet forwarding allocates no engine
+        objects. No handle is returned — transient events cannot be
+        cancelled or rescheduled.
+        """
+        if delay < 0:
+            raise SchedulingError(f"negative delay: {delay}")
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event.time = time
+            event.seq = seq
+            event.fn = fn
+            event.args = args
+            event.cancelled = False
+            event._live = True
+        else:
+            event = Event(time, seq, fn, args, self)
+            event._transient = True
+        self._live += 1
+        queue = self._queue
+        heapq.heappush(queue, (time, seq, event))
+        if len(queue) > self.max_heap_len:
+            self.max_heap_len = len(queue)
+
+    # --------------------------------------------------------------- main loop
 
     def run(
         self,
@@ -122,29 +279,53 @@ class Simulator:
             subsequent ``run`` continues from there.
         max_events:
             Safety valve for runaway simulations; raises
-            :class:`SchedulingError` when exceeded.
+            :class:`SchedulingError` when a further event would exceed the
+            budget. The budget is checked *before* executing, so a run
+            that needs exactly ``max_events`` events completes cleanly.
         """
         if self._running:
             raise SchedulingError("simulator is already running (re-entrant run)")
         self._running = True
         self._stopped = False
         executed = 0
+        # Bind hot attributes to locals: the loop body below runs once per
+        # event and attribute lookups dominate at this altitude.
+        queue = self._queue
+        heappop = heapq.heappop
+        profiler = self._profiler
+        pool = self._event_pool
         try:
-            while self._queue and not self._stopped:
-                time, _, event = self._queue[0]
+            while queue and not self._stopped:
+                entry = queue[0]
+                event = entry[2]
+                if entry[1] != event.seq:
+                    # Dead entry: cancelled or re-keyed by reschedule().
+                    heappop(queue)
+                    self.dead_entries_reaped += 1
+                    continue
+                time = entry[0]
                 if until is not None and time > until:
                     break
-                heapq.heappop(self._queue)
-                if event.cancelled:
-                    continue
-                self._now = time
-                event.fn()
-                self.events_processed += 1
-                executed += 1
                 if max_events is not None and executed >= max_events:
                     raise SchedulingError(
-                        f"exceeded max_events={max_events}; runaway simulation?"
+                        f"exceeded max_events={max_events} at t={self._now}; "
+                        "runaway simulation?"
                     )
+                heappop(queue)
+                self._now = time
+                event._live = False
+                self._live -= 1
+                event.fn(*event.args)
+                self.events_processed += 1
+                executed += 1
+                if profiler is not None:
+                    profiler._record(event)
+                if event._transient and len(pool) < 512:
+                    # Drop callback/arg references so pooled events do not
+                    # pin packets or closures, then recycle the object.
+                    event.fn = _noop
+                    event.args = ()
+                    pool.append(event)
             if until is not None and not self._stopped and self._now < until:
                 self._now = until
         finally:
@@ -154,17 +335,65 @@ class Simulator:
         """Stop the run loop after the current event completes."""
         self._stopped = True
 
+    # ------------------------------------------------------------ observation
+
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for _, _, event in self._queue if not event.cancelled)
+        """Number of live (non-cancelled) events still queued — O(1)."""
+        return self._live
 
     def peek_time(self) -> Optional[float]:
-        """Timestamp of the next live event, or ``None`` if the queue is empty."""
-        live = [entry for entry in self._queue if not entry[2].cancelled]
-        return min(live)[0] if live else None
+        """Timestamp of the next live event, or ``None`` if the queue is empty.
+
+        Dead heap heads are discarded on the way, so the cost is amortised
+        O(log n) rather than a scan of the whole queue.
+        """
+        queue = self._queue
+        while queue:
+            entry = queue[0]
+            if entry[1] == entry[2].seq:
+                return entry[0]
+            heapq.heappop(queue)
+            self.dead_entries_reaped += 1
+        return None
+
+    def heap_len(self) -> int:
+        """Raw heap length including dead entries (observability)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------- maintenance
+
+    def _compact(self) -> None:
+        """Sweep dead entries out of the heap in one O(n) pass.
+
+        The list is compacted *in place*: ``run()`` holds a local alias to
+        the queue, so the list object's identity must never change.
+        """
+        queue = self._queue
+        before = len(queue)
+        queue[:] = [entry for entry in queue if entry[1] == entry[2].seq]
+        heapq.heapify(queue)
+        self.compactions += 1
+        self.dead_entries_reaped += before - len(queue)
+
+    # -------------------------------------------------------------- profiling
+
+    def attach_profiler(self, profiler) -> None:
+        """Attach an :class:`~repro.stats.engineprof.EngineProfiler`.
+
+        Only one profiler may be attached at a time; pass ``None`` to
+        detach. Profiling adds one branch per executed event when attached
+        and nothing when not.
+        """
+        self._profiler = profiler
+        if profiler is not None:
+            profiler.on_attach(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Simulator(now={self._now:.6f}, pending={self.pending()}, "
             f"processed={self.events_processed})"
         )
+
+
+def _noop() -> None:
+    """Placeholder callback for recycled transient events."""

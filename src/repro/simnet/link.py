@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import random
 from typing import Callable, Optional
 
 from .engine import Simulator
@@ -36,6 +37,8 @@ class Link:
         queue_factory: Optional[QueueFactory] = None,
         bandwidth_reverse_bps: Optional[float] = None,
         delay_reverse_s: Optional[float] = None,
+        jitter_s: float = 0.0,
+        jitter_rng: Optional[random.Random] = None,
     ) -> None:
         make_queue = queue_factory if queue_factory is not None else DropTailQueue
         self.node_a = node_a
@@ -47,6 +50,8 @@ class Link:
             delay_s,
             queue=make_queue(),
             name=f"{node_a.name}->{node_b.name}",
+            jitter_s=jitter_s,
+            jitter_rng=jitter_rng,
         )
         self.b_to_a = Interface(
             sim,
@@ -55,6 +60,8 @@ class Link:
             delay_reverse_s if delay_reverse_s is not None else delay_s,
             queue=make_queue(),
             name=f"{node_b.name}->{node_a.name}",
+            jitter_s=jitter_s,
+            jitter_rng=jitter_rng,
         )
         self.a_to_b.connect(self.b_to_a)
         node_a.add_interface(self.a_to_b)

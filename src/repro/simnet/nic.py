@@ -121,7 +121,8 @@ class Interface:
         if not self.queue.offer(packet):
             self._notify("drop", packet)
             return
-        self._notify("enqueue", packet)
+        if self._taps:
+            self._notify("enqueue", packet)
         if not self._busy:
             self._transmit_next()
 
@@ -131,25 +132,33 @@ class Interface:
             self._busy = False
             return
         self._busy = True
-        tx_time = packet.size_bits / self.bandwidth_bps
-        self.sim.schedule(tx_time, lambda: self._finish_transmit(packet))
+        # Serialisation completion time is computable up front; a pooled
+        # transient event (bound method + argument, no closure, recycled
+        # Event object) carries the packet to the end of the wire hold.
+        self.sim.schedule_transient(
+            packet.size_bytes * 8.0 / self.bandwidth_bps,
+            self._finish_transmit,
+            packet,
+        )
 
     def _finish_transmit(self, packet: Packet) -> None:
         self.tx_bytes += packet.size_bytes
         self.tx_packets += 1
-        self._notify("tx", packet)
+        if self._taps:
+            self._notify("tx", packet)
         peer = self.peer
         assert peer is not None  # checked in send()
         delay = self.delay_s
         if self.jitter_s > 0 and self._jitter_rng is not None:
             delay += self._jitter_rng.uniform(-self.jitter_s, self.jitter_s)
-        self.sim.schedule(delay, lambda: peer._deliver(packet))
+        self.sim.schedule_transient(delay, peer._deliver, packet)
         self._transmit_next()
 
     def _deliver(self, packet: Packet) -> None:
         self.rx_bytes += packet.size_bytes
         self.rx_packets += 1
-        self._notify("rx", packet)
+        if self._taps:
+            self._notify("rx", packet)
         self.node.receive(packet, self)
 
     def utilisation(self, elapsed_s: float) -> float:

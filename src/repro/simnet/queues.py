@@ -91,14 +91,24 @@ class DropTailQueue:
 
     def offer(self, packet: Packet) -> bool:
         """Try to enqueue; returns ``False`` (and counts a drop) when full."""
-        if self._would_overflow(packet):
-            self.stats.dropped_packets += 1
-            self.stats.dropped_bytes += packet.size_bytes
+        # The overflow test is inlined: offer() runs once per packet per
+        # hop and the method-call indirection is measurable there.
+        size = packet.size_bytes
+        stats = self.stats
+        if (
+            self.capacity_packets is not None
+            and len(self._items) >= self.capacity_packets
+        ) or (
+            self.capacity_bytes is not None
+            and self._bytes + size > self.capacity_bytes
+        ):
+            stats.dropped_packets += 1
+            stats.dropped_bytes += size
             return False
         self._items.append(packet)
-        self._bytes += packet.size_bytes
-        self.stats.enqueued_packets += 1
-        self.stats.enqueued_bytes += packet.size_bytes
+        self._bytes += size
+        stats.enqueued_packets += 1
+        stats.enqueued_bytes += size
         return True
 
     def poll(self) -> Optional[Packet]:

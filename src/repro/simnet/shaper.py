@@ -150,7 +150,9 @@ class ShapedInterface:
             wait = self.bucket.time_until(head.size_bytes)
             if wait > self._EPSILON_S:
                 self._draining = True
-                self.sim.schedule(wait, self._resume)
+                # Fire-and-forget: the resume event is never cancelled, so
+                # it can ride a pooled transient event.
+                self.sim.schedule_transient(wait, self._resume)
                 return
             self.bucket.consume(head.size_bytes)
             self._backlog.popleft()

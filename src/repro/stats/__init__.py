@@ -1,12 +1,15 @@
 """``repro.stats`` — measurement and distribution-comparison utilities."""
 
 from .cdf import Cdf, ks_distance, percentile
+from .engineprof import EngineProfiler, profiled
 from .flows import FlowMonitor, FlowStats
 from .meters import IntervalRecorder, LatencyMeter, ThroughputMeter
 from .summary import Summary
 
 __all__ = [
     "Summary",
+    "EngineProfiler",
+    "profiled",
     "FlowMonitor",
     "FlowStats",
     "Cdf",

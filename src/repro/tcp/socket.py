@@ -441,8 +441,15 @@ class TcpSocket:
     # ============================================================== timers: RTO
 
     def _arm_rto(self) -> None:
-        self._cancel_rto()
-        self._rto_event = self.clock.call_in(self.rtt.rto, self._on_rto)
+        # Re-key the pending timer instead of cancel-and-recreate: the RTO
+        # is re-armed on nearly every ACK, and this path is what used to
+        # fill the engine heap with dead entries (and the allocator with
+        # dead Events) on bulk transfers.
+        event = self._rto_event
+        if event is not None:
+            self.clock.reschedule_in(event, self.rtt.rto)
+        else:
+            self._rto_event = self.clock.call_in(self.rtt.rto, self._on_rto)
 
     def _cancel_rto(self) -> None:
         if self._rto_event is not None:
@@ -601,12 +608,17 @@ class TcpSocket:
     # ========================================================== timers: persist
 
     def _arm_persist(self) -> None:
-        if self._persist_event is not None:
-            return
-        self._persist_event = self.clock.call_in(self.rtt.rto, self._on_persist)
+        event = self._persist_event
+        if event is None:
+            self._persist_event = self.clock.call_in(
+                self.rtt.rto, self._on_persist
+            )
+        elif not event.active:
+            # Fired earlier: revive the same Event for the next probe.
+            self.clock.reschedule_in(event, self.rtt.rto)
+        # else: already armed — the old behaviour, kept exactly.
 
     def _on_persist(self) -> None:
-        self._persist_event = None
         if self.state == CLOSED or self.snd_wnd > 0:
             return
         offset = self._stream_offset(self.snd_nxt)
@@ -621,9 +633,11 @@ class TcpSocket:
 
     def _ack_sent(self) -> None:
         self._segments_since_ack = 0
+        # Disarm but keep the Event object: data segments satisfy the
+        # delayed-ACK duty constantly, and the next _schedule_ack revives
+        # the same event instead of allocating a fresh one.
         if self._delack_event is not None:
             self._delack_event.cancel()
-            self._delack_event = None
 
     def _schedule_ack(self, immediate: bool) -> None:
         if immediate or self.options.delayed_ack_timeout == 0:
@@ -633,13 +647,16 @@ class TcpSocket:
         if self._segments_since_ack >= self.options.ack_every:
             self._send_pure_ack()
             return
-        if self._delack_event is None:
+        event = self._delack_event
+        if event is None:
             self._delack_event = self.clock.call_in(
                 self.options.delayed_ack_timeout, self._on_delack
             )
+        elif not event.active:
+            self.clock.reschedule_in(event, self.options.delayed_ack_timeout)
+        # else: a delayed ACK is already pending; leave its deadline alone.
 
     def _on_delack(self) -> None:
-        self._delack_event = None
         if self.state != CLOSED and self._segments_since_ack > 0:
             self._send_pure_ack()
 
@@ -765,9 +782,12 @@ class TcpSocket:
             self._cwr_pending = True
         window_update = segment.window != self.snd_wnd
         self.snd_wnd = segment.window
-        if self._persist_event is not None and self.snd_wnd > 0:
+        if (
+            self._persist_event is not None
+            and self._persist_event.active
+            and self.snd_wnd > 0
+        ):
             self._persist_event.cancel()
-            self._persist_event = None
             self._try_send()
         if ack > self.snd_una:
             self._process_new_ack(ack)

@@ -14,7 +14,7 @@ from typing import Any, Callable, Dict, Optional
 
 from ..simnet.errors import AddressError
 from ..simnet.node import Node
-from ..simnet.packet import IP_HEADER_BYTES, Packet
+from ..simnet.packet import IP_HEADER_BYTES, SHARED_POOL, Packet
 
 __all__ = ["Datagram", "UdpSocket", "UdpStack", "UDP_HEADER_BYTES"]
 
@@ -76,7 +76,9 @@ class UdpSocket:
             size_bytes=size_bytes,
             payload=payload,
         )
-        packet = Packet(
+        # Datagrams have a clear consume point (the receiving stack), so
+        # the wire packet rides the shared freelist instead of allocating.
+        packet = SHARED_POOL.acquire(
             src=self.node.name,
             dst=remote_addr,
             protocol="udp",
@@ -145,6 +147,9 @@ class UdpStack:
         datagram = packet.payload
         if not isinstance(datagram, Datagram):
             raise AddressError(f"non-UDP payload delivered to UdpStack: {packet!r}")
+        # The packet object is dead once the datagram is handed off (taps
+        # copy fields, applications see only the Datagram) — recycle it.
+        SHARED_POOL.release(packet)
         sock = self._sockets.get(datagram.dst_port)
         if sock is None:
             self.dropped_unbound += 1

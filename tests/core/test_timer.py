@@ -121,3 +121,64 @@ def test_dilated_periodic_tick_spacing():
     timers.every(0.010, lambda n: times.append(sim.now), max_ticks=3)
     sim.run()
     assert times == [pytest.approx(0.1), pytest.approx(0.2), pytest.approx(0.3)]
+
+
+def test_reset_pushes_deadline_out():
+    """The retransmission-timer pattern: every ACK re-arms the timeout."""
+    sim, timers = make_service()
+    fired = []
+    timer = timers.after(1.0, lambda: fired.append(sim.now))
+    sim.schedule(0.5, lambda: timer.reset(1.0))
+    sim.run()
+    assert fired == [pytest.approx(1.5)]
+    assert timer.fired
+
+
+def test_reset_revives_cancelled_timer():
+    sim, timers = make_service()
+    fired = []
+    timer = timers.after(1.0, lambda: fired.append(sim.now))
+    timer.cancel()
+    timer.reset(2.0)
+    assert timer.active
+    sim.run()
+    assert fired == [pytest.approx(2.0)]
+
+
+def test_reset_rearms_fired_timer():
+    sim, timers = make_service()
+    fired = []
+    timer = timers.after(1.0, lambda: fired.append(sim.now))
+    sim.run()
+    timer.reset(1.0)
+    assert timer.active and not timer.fired
+    sim.run()
+    assert fired == [pytest.approx(1.0), pytest.approx(2.0)]
+
+
+def test_reset_negative_delay_rejected():
+    _, timers = make_service()
+    timer = timers.after(1.0, lambda: None)
+    with pytest.raises(SchedulingError):
+        timer.reset(-0.1)
+
+
+def test_reset_converts_virtual_delay():
+    """reset() goes through the dilated clock exactly like after()."""
+    sim, timers = make_service(tdf=10)
+    fired = []
+    timer = timers.after(0.010, lambda: fired.append(sim.now))
+    timer.reset(0.020)  # 20 ms virtual -> 200 ms physical
+    sim.run()
+    assert fired == [pytest.approx(0.200)]
+    assert timer.fired
+
+
+def test_periodic_reuses_one_engine_event():
+    """Re-arming re-keys the same Event: the heap never bloats with one
+    dead entry per tick."""
+    sim, timers = make_service()
+    timers.every(0.1, lambda n: None, max_ticks=200)
+    sim.run()
+    assert sim.events_processed == 200
+    assert sim.heap_len() <= 2  # no dead-entry trail from 200 re-arms

@@ -1,0 +1,114 @@
+"""Golden determinism pins for the event engine's fast path.
+
+The engine optimisations (reschedule re-keying, heap compaction, transient
+event pooling) are only admissible if they are *invisible*: a seeded run
+must execute the same events in the same order as before. These tests pin
+two representative workloads — a Figure 3 bulk-TCP point and the Figure 9
+BitTorrent swarm, each at TDF 1 and TDF 10 — to golden values captured
+from the pre-optimisation engine.
+
+``events_processed`` is the strictest fingerprint: any change to event
+ordering, timer arming, or packet-chain structure shifts it. The goldens
+are exact; the float comparisons allow only accumulated-rounding headroom
+(1e-9 relative), far below any behavioural change.
+
+If a deliberate protocol/workload change invalidates these numbers,
+recapture them with the same recipe below and update the goldens in the
+same commit — never loosen the tolerances.
+"""
+
+import pytest
+
+from repro.core.dilation import NetworkProfile
+from repro.harness.experiments import run_bittorrent, run_bulk
+from repro.simnet.units import mbps, ms
+
+# Captured from the seed engine (lazy-deletion heap, cancel-and-recreate
+# timers) on the exact recipes below; the fast-path engine must reproduce
+# them bit-for-bit.
+FIG3_GOLDEN = {
+    1: {
+        "goodput_bps": 89938824.0,
+        "delivered_bytes": 44969412,
+        "retransmits": 367,
+        "timeouts": 0,
+        "srtt": 0.04195796511672792,
+        "segments_sent": 67528,
+        "events_processed": 608972,
+    },
+    10: {
+        "goodput_bps": 89938824.0,
+        "delivered_bytes": 44969412,
+        "retransmits": 367,
+        "timeouts": 0,
+        "srtt": 0.0419579651166874,
+        "segments_sent": 67528,
+        "events_processed": 608972,
+    },
+}
+
+FIG9_GOLDEN = {
+    1: {
+        "download_times_s": [
+            11.026691200000206, 11.030506400000219, 11.558536000000313,
+            11.667530400000155, 12.418359200000399, 13.08258240000046,
+            13.52552320000054, 16.90088480000075, 17.161768800000814,
+            18.342719200001188, 18.39983680000093, 18.942204000000977,
+        ],
+        "completed": 12,
+        "seed_uploaded_bytes": 7667712,
+        "total_downloaded_bytes": 25165824,
+        "events_processed": 183863,
+    },
+    10: {
+        "download_times_s": [
+            11.012179199999974, 11.026936799999993, 11.284106399999995,
+            11.666304799999955, 12.420476799999964, 12.976166399999977,
+            13.487039199999904, 17.03943839999993, 17.078245599999903,
+            18.028026399999995, 18.077234399999945, 23.362152799999965,
+        ],
+        "completed": 12,
+        "seed_uploaded_bytes": 8060928,
+        "total_downloaded_bytes": 25165824,
+        "events_processed": 182264,
+    },
+}
+
+
+@pytest.mark.parametrize("tdf", [1, 10])
+def test_fig3_bulk_point_matches_golden(tdf):
+    golden = FIG3_GOLDEN[tdf]
+    result = run_bulk(
+        NetworkProfile.from_rtt(mbps(100), ms(40)),
+        tdf,
+        duration_s=6.0,
+        warmup_s=2.0,
+    )
+    assert result.events_processed == golden["events_processed"]
+    assert result.delivered_bytes == golden["delivered_bytes"]
+    assert result.retransmits == golden["retransmits"]
+    assert result.timeouts == golden["timeouts"]
+    assert result.segments_sent == golden["segments_sent"]
+    assert result.goodput_bps == pytest.approx(
+        golden["goodput_bps"], rel=1e-9
+    )
+    assert result.srtt == pytest.approx(golden["srtt"], rel=1e-9)
+
+
+@pytest.mark.parametrize("tdf", [1, 10])
+def test_fig9_swarm_matches_golden(tdf):
+    golden = FIG9_GOLDEN[tdf]
+    result = run_bittorrent(
+        perceived_leaf=NetworkProfile.from_rtt(mbps(10), ms(20)),
+        tdf=tdf,
+        leechers=12,
+        file_bytes=2 << 20,
+        seed=777,
+    )
+    assert result.events_processed == golden["events_processed"]
+    assert result.completed == golden["completed"]
+    assert result.seed_uploaded_bytes == golden["seed_uploaded_bytes"]
+    assert result.total_downloaded_bytes == golden["total_downloaded_bytes"]
+    assert result.download_times_s == pytest.approx(
+        golden["download_times_s"], rel=1e-9
+    )

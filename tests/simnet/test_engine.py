@@ -181,3 +181,196 @@ def test_property_cancellation_exactness(items):
             event.cancel()
     sim.run()
     assert len(ran) == expected
+
+
+# ------------------------------------------------------------- fast path
+
+
+def test_schedule_passes_args_without_closure():
+    sim = Simulator()
+    got = []
+    sim.schedule(1.0, lambda *a: got.append(a), "x", 42)
+    sim.run()
+    assert got == [("x", 42)]
+
+
+def test_reschedule_moves_pending_event():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append(sim.now))
+    event.reschedule(5.0)
+    sim.run()
+    assert fired == [5.0]
+    assert sim.pending() == 0
+
+
+def test_reschedule_fires_exactly_once():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append(sim.now))
+    event.reschedule(3.0)
+    event.reschedule(2.0)
+    sim.run()
+    assert fired == [2.0]
+
+
+def test_reschedule_revives_cancelled_event():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append(sim.now))
+    event.cancel()
+    assert not event.active
+    event.reschedule(4.0)
+    assert event.active
+    sim.run()
+    assert fired == [4.0]
+
+
+def test_reschedule_rearms_fired_event():
+    """The TCP delack/persist pattern: keep the Event, re-arm after firing."""
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [1.0]
+    assert not event.active
+    event.reschedule(sim.now + 2.0)
+    sim.run()
+    assert fired == [1.0, 3.0]
+
+
+def test_reschedule_into_past_rejected():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SchedulingError):
+        event.reschedule(2.0)
+
+
+def test_reschedule_ties_like_cancel_and_recreate():
+    """A rescheduled event gets a fresh seq: same-time ties fire it last,
+    exactly as if the old event were cancelled and a new one scheduled."""
+    sim = Simulator()
+    order = []
+    rearmed = sim.schedule(1.0, lambda: order.append("rearmed"))
+    sim.schedule(2.0, lambda: order.append("other"))
+    rearmed.reschedule(2.0)
+    sim.run()
+    assert order == ["other", "rearmed"]
+
+
+def test_pending_counter_tracks_cancel_reschedule_and_run():
+    sim = Simulator()
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+    assert sim.pending() == 5
+    events[0].cancel()
+    assert sim.pending() == 4
+    events[0].reschedule(10.0)  # revive
+    assert sim.pending() == 5
+    events[1].reschedule(20.0)  # re-key, still one live event
+    assert sim.pending() == 5
+    sim.run()
+    assert sim.pending() == 0
+
+
+def test_compaction_bounds_heap_growth():
+    """Churning one timer thousands of times must not grow the heap."""
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    for i in range(5000):
+        event.reschedule(1.0 + i * 1e-6)
+    assert sim.compactions > 0
+    # Far fewer than the 5000 dead entries churned through the heap.
+    assert sim.heap_len() < 200
+    assert sim.pending() == 1
+    sim.run()
+    assert sim.events_processed == 1
+
+
+def test_compaction_preserves_firing_order():
+    sim = Simulator()
+    order = []
+    keepers = []
+    for i in range(50):
+        keepers.append(sim.schedule(100.0 + i, lambda i=i: order.append(i)))
+    churn = sim.schedule(1.0, lambda: None)
+    for i in range(500):  # force several compaction sweeps
+        churn.reschedule(1.0 + i * 1e-3)
+    churn.cancel()
+    sim.run()
+    assert order == list(range(50))
+
+
+def test_transient_event_fires_with_args():
+    sim = Simulator()
+    got = []
+    assert sim.schedule_transient(1.0, lambda v: got.append((sim.now, v)), 7) is None
+    sim.run()
+    assert got == [(1.0, 7)]
+
+
+def test_transient_events_are_pooled():
+    sim = Simulator()
+    seen = []
+
+    def hop(n):
+        seen.append(n)
+        if n < 10:
+            sim.schedule_transient(1.0, hop, n + 1)
+
+    sim.schedule_transient(1.0, hop, 1)
+    sim.run()
+    assert seen == list(range(1, 11))
+    # An event is recycled only after its callback returns, so a chain that
+    # schedules its successor from the callback alternates between two
+    # pooled events — not one, and certainly not ten fresh allocations.
+    assert len(sim._event_pool) == 2
+    # Recycled events must not pin callbacks or arguments.
+    for pooled in sim._event_pool:
+        assert pooled.args == ()
+
+
+def test_transient_negative_delay_rejected():
+    with pytest.raises(SchedulingError):
+        Simulator().schedule_transient(-0.5, lambda: None)
+
+
+def test_max_events_budget_checked_before_execution():
+    """A run needing exactly max_events completes; the budget only trips
+    when a further event would exceed it, and the error names the time."""
+    sim = Simulator()
+    fired = []
+    for i in range(3):
+        sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+    rearm = []
+
+    def tick():
+        rearm.append(sim.now)
+        sim.schedule(1.0, tick)
+
+    sim.schedule(1.0, tick)
+    with pytest.raises(SchedulingError, match=r"max_events=5 at t="):
+        sim.run(max_events=5)
+    assert len(rearm) == 5  # the budget itself was fully used
+
+
+def test_peek_time_discards_dead_heads():
+    sim = Simulator()
+    doomed = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    sim.schedule(99.0, lambda: None)
+    for event in doomed:
+        event.cancel()
+    assert sim.peek_time() == 99.0
+    assert sim.heap_len() == 1  # the dead heads were popped, not scanned
+
+
+def test_heap_len_counts_dead_entries():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    event.reschedule(2.0)
+    assert sim.pending() == 1
+    assert sim.heap_len() == 2  # live entry + stale re-keyed entry

@@ -1,0 +1,119 @@
+"""Unit tests for the engine profiler."""
+
+from repro.simnet import engine
+from repro.simnet.engine import Simulator
+from repro.stats.engineprof import EngineProfiler, profiled
+
+
+def tick():
+    pass
+
+
+def tock():
+    pass
+
+
+def test_records_events_and_histogram():
+    sim = Simulator()
+    profiler = EngineProfiler()
+    sim.attach_profiler(profiler)
+    for i in range(3):
+        sim.schedule(float(i + 1), tick)
+    sim.schedule(4.0, tock)
+    sim.run()
+    assert profiler.events == 4
+    assert profiler.by_component == {"tick": 3, "tock": 1}
+    assert profiler.sims == [sim]
+
+
+def test_aggregates_across_simulators():
+    profiler = EngineProfiler()
+    for count in (2, 5):
+        sim = Simulator()
+        sim.attach_profiler(profiler)
+        for i in range(count):
+            sim.schedule(float(i + 1), tick)
+        sim.run()
+    assert profiler.events == 7
+    assert len(profiler.sims) == 2
+    snap = profiler.snapshot()
+    assert snap["events"] == 7
+    assert snap["simulators"] == 2
+    assert snap["by_component"] == {"tick": 7}
+
+
+def test_snapshot_carries_heap_hygiene_counters():
+    sim = Simulator()
+    profiler = EngineProfiler()
+    sim.attach_profiler(profiler)
+    event = sim.schedule(1.0, tick)
+    for i in range(200):  # force compaction sweeps
+        event.reschedule(1.0 + i * 1e-6)
+    sim.run()
+    snap = profiler.snapshot()
+    assert snap["compactions"] == sim.compactions > 0
+    assert snap["dead_entries_reaped"] == sim.dead_entries_reaped > 0
+    assert snap["max_heap_len"] == sim.max_heap_len
+    assert snap["live_events"] == 0
+
+
+def test_profiled_context_auto_attaches_and_clears():
+    with profiled() as profiler:
+        sim = Simulator()
+        sim.schedule(1.0, tick)
+        sim.run()
+    assert profiler.events == 1
+    assert engine._default_profiler is None
+    assert Simulator()._profiler is None
+
+
+def test_profiled_clears_default_on_error():
+    try:
+        with profiled():
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert engine._default_profiler is None
+
+
+def test_detach_stops_recording():
+    sim = Simulator()
+    profiler = EngineProfiler()
+    sim.attach_profiler(profiler)
+    sim.schedule(1.0, tick)
+    sim.run()
+    sim.attach_profiler(None)
+    sim.schedule(1.0, tick)
+    sim.run()
+    assert profiler.events == 1
+
+
+def test_profiling_does_not_perturb_results():
+    def drive(sim):
+        order = []
+
+        def hop(n):
+            order.append((sim.now, n))
+            if n < 50:
+                sim.schedule_transient(0.5, hop, n + 1)
+
+        sim.schedule_transient(0.5, hop, 1)
+        sim.run()
+        return order, sim.events_processed
+
+    plain = drive(Simulator())
+    with profiled():
+        observed = drive(Simulator())
+    assert observed == plain
+
+
+def test_render_mentions_throughput_and_components():
+    sim = Simulator()
+    profiler = EngineProfiler()
+    sim.attach_profiler(profiler)
+    sim.schedule(1.0, tick)
+    sim.run()
+    text = profiler.render()
+    assert "events/sec" in text
+    assert "tick" in text
+    assert "compactions" in text

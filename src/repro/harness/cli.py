@@ -46,6 +46,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="append an event-engine profile (events/sec, heap stats, "
              "per-component histogram) to each experiment's report",
     )
+    parser.add_argument(
+        "--impair",
+        metavar="SPEC",
+        help="impairment spec for experiments with an impairment axis "
+             "(e.g. ext4): kind[:key=value,...] — "
+             "'bernoulli:rate=0.01,seed=7', 'gilbert:rate=0.01,burst=4', "
+             "'reorder:rate=0.05,hold=0.002', 'duplicate:rate=0.01', "
+             "'corrupt:rate=0.01', 'flap:windows=1.0-1.5/3.0-3.2'",
+    )
     return parser
 
 
@@ -65,7 +74,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"unknown figure {figure_id!r}; use --list", file=sys.stderr)
             return 2
         started = time.time()
-        result = run_figure(figure_id, profile_engine=args.profile_engine)
+        try:
+            result = run_figure(figure_id, profile_engine=args.profile_engine,
+                                impair=args.impair)
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
         elapsed = time.time() - started
         print(result.render())
         print(f"  ({elapsed:.1f} s wall)")

@@ -24,6 +24,7 @@ from ..apps.iperf import IperfClient, IperfServer
 from ..core.dilation import NetworkProfile, physical_for
 from ..core.tdf import TdfLike, as_tdf
 from ..core.vmm import Hypervisor
+from ..simnet.impairments import ImpairmentSpec
 from ..simnet.queues import DropTailQueue
 from ..simnet.topology import Network, build_dumbbell
 from ..simnet.trace import PacketTrace
@@ -60,7 +61,7 @@ def relative_error(measured: float, reference: float) -> float:
     return abs(measured - reference) / abs(reference)
 
 
-def default_queue_packets(physical: NetworkProfile,
+def default_queue_packets(profile: NetworkProfile,
                           frame_bytes: int = FRAME_BYTES) -> int:
     """Queue sized at one bandwidth-delay product (standard provisioning).
 
@@ -71,9 +72,21 @@ def default_queue_packets(physical: NetworkProfile,
     match the flow's actual frame size or the buffer is mis-provisioned
     (a 1500-byte sizing under 9000-byte jumbo frames yields a 6x-BDP
     bufferbloat queue whose delay trips spurious RTOs).
+
+    Size from the **perceived** profile, not the physical one: the
+    invariance above holds exactly in real arithmetic but not in floats —
+    dividing bandwidth by an awkward TDF (e.g. 7) can land the product one
+    ulp below an integer packet count, which truncation then turns into a
+    whole-packet difference between a dilated run and its baseline (the
+    seed-era 60 Mbps / 30 ms / TDF 7 equivalence outlier). The near-integer
+    snap below guards direct callers that only have the physical profile.
     """
-    bdp_bytes = physical.bandwidth_bps * physical.rtt_s / 8
-    return int(min(max(bdp_bytes / frame_bytes, 20), 4000))
+    bdp_bytes = profile.bandwidth_bps * profile.rtt_s / 8
+    packets = bdp_bytes / frame_bytes
+    snapped = round(packets)
+    if snapped > 0 and abs(packets - snapped) < 1e-9 * snapped:
+        packets = snapped
+    return int(min(max(packets, 20), 4000))
 
 
 # ===================================================================== bulk TCP
@@ -93,6 +106,15 @@ class BulkFlowResult:
     interarrivals: List[float] = field(default_factory=list)
     #: Total engine events executed by the run (determinism fingerprint).
     events_processed: int = 0
+    #: Cumulative dupack / fast-retransmit accounting over all senders.
+    dupacks: int = 0
+    fast_retransmits: int = 0
+    fast_recoveries: int = 0
+    #: Drop taxonomy of the bottleneck's data-direction egress
+    #: (reason -> count; empty on a clean run).
+    bottleneck_drops: Dict[str, int] = field(default_factory=dict)
+    #: Corrupted segments discarded by the receivers' checksum validation.
+    checksum_drops: int = 0
 
 
 def run_bulk(
@@ -106,22 +128,32 @@ def run_bulk(
     collect_interarrivals: bool = False,
     sack: bool = True,
     mss: int = 1460,
+    impair: Optional[ImpairmentSpec] = None,
 ) -> BulkFlowResult:
     """Bulk TCP over a dilated dumbbell; goodput in virtual bits/second.
 
     ``duration_s`` and ``warmup_s`` are virtual seconds; the physical run
     is ``tdf`` times longer, exactly as the paper's dilated experiments
     took TDF-times the wall-clock time.
+
+    ``impair`` attaches a seed-deterministic impairment chain to the
+    bottleneck's data-direction egress. Per-packet decisions (loss,
+    duplication, corruption) depend only on the packet sequence, and the
+    spec's time-valued knobs are virtual and scaled by the TDF, so a
+    dilated lossy run faces the *same* impairment pattern as its baseline.
     """
     factor = as_tdf(tdf)
     physical = physical_for(perceived, factor)
     access_physical = physical_for(
         NetworkProfile(perceived.bandwidth_bps * 10, 1e-5), factor
     )
+    # Sized from the perceived profile: the BDP in packets is
+    # dilation-invariant, and the perceived numbers are TDF-free so the
+    # dilated run and its baseline can never round to different depths.
     queue = (
         queue_packets
         if queue_packets is not None
-        else default_queue_packets(physical, frame_bytes=mss + 40)
+        else default_queue_packets(perceived, frame_bytes=mss + 40)
     )
     bell = build_dumbbell(
         pairs=flows,
@@ -132,6 +164,9 @@ def run_bulk(
         queue_factory=lambda: DropTailQueue(capacity_packets=queue),
     )
     net = bell.network
+    bottleneck_egress = bell.bottleneck.interface_from(bell.router_left)
+    if impair is not None:
+        bottleneck_egress.set_impairments(impair.build(net.sim, tdf=factor))
     vmm = Hypervisor(net.sim)
     share = 1.0 / (2 * flows)
     # Size the receive window to never be the bottleneck (the paper's
@@ -198,6 +233,15 @@ def run_bulk(
         segments_sent=sum(c.socket.segments_sent for c in clients if c.socket),
         interarrivals=interarrivals,
         events_processed=net.sim.events_processed,
+        dupacks=sum(c.socket.dupacks_received for c in clients if c.socket),
+        fast_retransmits=sum(
+            c.socket.fast_retransmits for c in clients if c.socket
+        ),
+        fast_recoveries=sum(
+            c.socket.fast_recoveries for c in clients if c.socket
+        ),
+        bottleneck_drops=dict(bottleneck_egress.drops),
+        checksum_drops=sum(server.stack.checksum_drops for server in servers),
     )
 
 
@@ -243,7 +287,7 @@ def run_web(
     net.add_link(
         server_node, client_node, physical.bandwidth_bps, physical.delay_s,
         queue_factory=lambda: DropTailQueue(
-            capacity_packets=default_queue_packets(physical)
+            capacity_packets=default_queue_packets(perceived)
         ),
     )
     net.finalize()
@@ -320,7 +364,7 @@ def run_bittorrent(
         net.add_link(
             leaf, hub, physical.bandwidth_bps, physical.delay_s,
             queue_factory=lambda: DropTailQueue(
-                capacity_packets=default_queue_packets(physical)
+                capacity_packets=default_queue_packets(perceived_leaf)
             ),
         )
         leaves.append(leaf)
@@ -397,7 +441,7 @@ def run_bulk_with_cross_traffic(
         bottleneck_delay_s=physical.delay_s,
         access_delay_s=access_physical.delay_s,
         queue_factory=lambda: DropTailQueue(
-            capacity_packets=default_queue_packets(physical)
+            capacity_packets=default_queue_packets(perceived)
         ),
     )
     net = bell.network
@@ -473,7 +517,7 @@ def run_consolidated(
     net.add_link(
         machine, switch, physical.bandwidth_bps, physical.delay_s,
         queue_factory=lambda: DropTailQueue(
-            capacity_packets=default_queue_packets(physical)
+            capacity_packets=default_queue_packets(perceived_uplink)
         ),
     )
     vmm = Hypervisor(net.sim)
@@ -577,7 +621,7 @@ def run_guest_build_job(
     net.add_link(
         builder, server, physical.bandwidth_bps, physical.delay_s,
         queue_factory=lambda: DropTailQueue(
-            capacity_packets=default_queue_packets(physical)
+            capacity_packets=default_queue_packets(perceived_net)
         ),
     )
     net.finalize()

@@ -10,13 +10,15 @@ registry.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import inspect
+from typing import Callable, Dict, List, Optional
 
 from ..core.dilation import (
     NetworkProfile,
     cpu_share_for_constant_speed,
     resource_scaling_rows,
 )
+from ..simnet.impairments import ImpairmentSpec
 from ..simnet.units import format_rate, format_time, gbps, mbps, ms
 from ..stats.cdf import ks_distance, percentile
 from .ascii_chart import line_chart
@@ -37,6 +39,12 @@ __all__ = ["FIGURES", "figure_ids", "run_figure"]
 #: Agreement tolerance between a dilated run and its scaled baseline.
 #: The substrate is deterministic, so this is float-jitter headroom only.
 EQUIVALENCE_TOLERANCE = 0.02
+
+#: Agreement tolerance for equivalence *under impairment* (the issue's
+#: acceptance bar). Deterministic per-packet impairments reproduce
+#: bit-identically under dilation, so runs normally land at 0 error; the
+#: 5% headroom covers retransmit-count quantisation on short windows.
+LOSSY_TOLERANCE = 0.05
 
 
 def table1_resource_scaling() -> FigureResult:
@@ -763,6 +771,79 @@ def ext3_guest_program() -> FigureResult:
     return figure
 
 
+def ext4_lossy_equivalence(impair: Optional[str] = None) -> FigureResult:
+    """Extension E4: dilation equivalence over a lossy physical path.
+
+    The paper's validation matters most where the network misbehaves. A
+    TDF-k guest over an impaired bottleneck must reproduce the scaled
+    baseline's goodput and retransmit counts: per-packet impairment
+    decisions are seed-deterministic and time-free, so the dilated run
+    faces the identical loss pattern. Default matrix: Bernoulli p=1% and
+    an equivalent-rate Gilbert–Elliott burst model, TDF ∈ {5, 10}; pass an
+    ``--impair`` spec to run a single custom impairment instead.
+    """
+    perceived = NetworkProfile.from_rtt(mbps(20), ms(40))
+    if impair is not None:
+        specs = [ImpairmentSpec.parse(impair)]
+    else:
+        specs = [
+            ImpairmentSpec(kind="bernoulli", rate=0.01, seed=42),
+            ImpairmentSpec(kind="gilbert", rate=0.01, burst=4.0, seed=42),
+        ]
+    tdfs = [5, 10]
+    table = Table(
+        ["model", "TDF", "goodput (Mbps)", "base (Mbps)", "retx", "base retx",
+         "drops", "rel err"],
+        title="Bulk TCP over an impaired 20 Mbps / 40 ms bottleneck",
+    )
+    figure = FigureResult("ext4", "Equivalence under impairment", table)
+    for spec in specs:
+        base = run_bulk(perceived, 1, duration_s=3.0, warmup_s=1.0,
+                        impair=spec)
+        base_drops = sum(base.bottleneck_drops.values())
+        # Non-dropping stages (reorder, duplicate) leave their mark as
+        # retransmits or dupacks rather than bottleneck drops; corruption
+        # surfaces at the receiver's checksum instead.
+        bite = base_drops + base.checksum_drops + base.retransmits \
+            + base.dupacks
+        figure.check(
+            f"{spec.kind}: the impairment actually bites "
+            f"({base_drops} drops, {base.checksum_drops} checksum, "
+            f"{base.retransmits} retx, {base.dupacks} dupacks)",
+            bite > 0,
+        )
+        for tdf in tdfs:
+            dilated = run_bulk(perceived, tdf, duration_s=3.0, warmup_s=1.0,
+                               impair=spec)
+            goodput_err = relative_error(dilated.goodput_bps, base.goodput_bps)
+            retx_err = relative_error(dilated.retransmits, base.retransmits)
+            table.add_row(
+                spec.kind, tdf,
+                f"{dilated.goodput_bps / 1e6:.3f}",
+                f"{base.goodput_bps / 1e6:.3f}",
+                dilated.retransmits, base.retransmits,
+                sum(dilated.bottleneck_drops.values()),
+                f"{max(goodput_err, retx_err) * 100:.3f}%",
+            )
+            figure.check(
+                f"{spec.kind} TDF {tdf}: goodput within "
+                f"{LOSSY_TOLERANCE:.0%} of scaled baseline",
+                goodput_err <= LOSSY_TOLERANCE,
+            )
+            figure.check(
+                f"{spec.kind} TDF {tdf}: retransmit count within "
+                f"{LOSSY_TOLERANCE:.0%}",
+                retx_err <= LOSSY_TOLERANCE,
+            )
+    figure.notes.append(
+        "per-packet impairment decisions are drawn from a seeded RNG in "
+        "packet order, never from the clock — the dilated run therefore "
+        "sees the same drop pattern and the comparison is typically exact, "
+        "not merely within tolerance"
+    )
+    return figure
+
+
 FIGURES: Dict[str, Callable[[], FigureResult]] = {
     "table1": table1_resource_scaling,
     "table2": table2_cpu_dilation,
@@ -779,6 +860,7 @@ FIGURES: Dict[str, Callable[[], FigureResult]] = {
     "ext1": ext1_cross_traffic,
     "ext2": ext2_consolidation,
     "ext3": ext3_guest_program,
+    "ext4": ext4_lossy_equivalence,
 }
 
 
@@ -787,13 +869,21 @@ def figure_ids() -> List[str]:
     return list(FIGURES)
 
 
-def run_figure(figure_id: str, profile_engine: bool = False) -> FigureResult:
+def run_figure(
+    figure_id: str,
+    profile_engine: bool = False,
+    impair: Optional[str] = None,
+) -> FigureResult:
     """Run one experiment by id.
 
     With ``profile_engine=True`` every simulator the experiment constructs
     is profiled (events/sec, heap hygiene, per-component histogram) and the
     rendered profile is attached as ``result.engine_profile``. Profiling
     never perturbs results — figures are bit-identical either way.
+
+    ``impair`` is an :meth:`ImpairmentSpec.parse` string forwarded to
+    experiments that take an impairment axis (currently ``ext4``); passing
+    it to any other experiment is an error rather than a silent no-op.
     """
     try:
         fn = FIGURES[figure_id]
@@ -801,11 +891,18 @@ def run_figure(figure_id: str, profile_engine: bool = False) -> FigureResult:
         raise KeyError(
             f"unknown figure {figure_id!r}; known: {', '.join(FIGURES)}"
         ) from None
+    kwargs = {}
+    if impair is not None:
+        if "impair" not in inspect.signature(fn).parameters:
+            raise ValueError(
+                f"experiment {figure_id!r} has no --impair axis"
+            )
+        kwargs["impair"] = impair
     if not profile_engine:
-        return fn()
+        return fn(**kwargs)
     from ..stats.engineprof import profiled
 
     with profiled() as profiler:
-        result = fn()
+        result = fn(**kwargs)
     result.engine_profile = profiler.render()
     return result

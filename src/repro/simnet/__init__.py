@@ -18,6 +18,16 @@ from .errors import (
     SchedulingError,
     SimulationError,
 )
+from .impairments import (
+    BernoulliLoss,
+    Corrupt,
+    Duplicate,
+    GilbertElliott,
+    ImpairmentChain,
+    ImpairmentSpec,
+    LinkFlap,
+    Reorder,
+)
 from .link import Link
 from .nic import Interface
 from .node import Node
@@ -39,6 +49,14 @@ __all__ = [
     "AddressError",
     "ProtocolError",
     "ConnectionReset",
+    "BernoulliLoss",
+    "GilbertElliott",
+    "Reorder",
+    "Duplicate",
+    "Corrupt",
+    "LinkFlap",
+    "ImpairmentChain",
+    "ImpairmentSpec",
     "Link",
     "Interface",
     "Node",

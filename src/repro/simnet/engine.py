@@ -33,7 +33,7 @@ grow the heap without bound and every push/pop pays an inflated log n.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .errors import SchedulingError
 
@@ -187,6 +187,12 @@ class Simulator:
         self._profiler = None
         #: Freelist of recycled transient events.
         self._event_pool: List[Event] = []
+        #: Engine-wide named counters ("drop.queue", "tcp.retransmits"…)
+        #: bumped by components; plain data, never scheduled, so bumping
+        #: one can never perturb event ordering. Surfaced by
+        #: :class:`repro.stats.engineprof.EngineProfiler` and
+        #: :class:`repro.stats.flows.FlowMonitor`.
+        self.counters: Dict[str, int] = {}
         if _default_profiler is not None:
             self.attach_profiler(_default_profiler)
 

@@ -19,7 +19,7 @@ the guests' perception of it changes.
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Optional, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from .engine import Simulator
 from .errors import ConfigurationError
@@ -27,6 +27,7 @@ from .packet import Packet
 from .queues import DropTailQueue
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .impairments import ImpairmentChain
     from .node import Node
 
 __all__ = ["Interface", "TapFn"]
@@ -78,11 +79,20 @@ class Interface:
         #: Optional fault injector: packets for which this returns True are
         #: dropped before queueing (used by loss experiments and tests).
         self.loss_fn: Optional[Callable[[Packet], bool]] = None
-        self.injected_losses = 0
+        #: Optional impairment pipeline (loss models, reordering,
+        #: duplication, corruption, flaps); ``None`` costs one attribute
+        #: check per packet and schedules no events.
+        self._impairments: Optional["ImpairmentChain"] = None
         #: Administrative state: a downed interface drops everything
         #: (set via Network.fail_link / restore_link).
         self.up = True
-        self.down_drops = 0
+        #: Unified drop taxonomy: reason -> count. Every egress drop on
+        #: this interface lands here under exactly one reason — "down"
+        #: (administratively down), "injected" (legacy ``loss_fn``),
+        #: "queue" (discipline rejected it), or an impairment-stage reason
+        #: ("loss", "reorder"…, "flap"). Mirrored into
+        #: ``sim.counters["drop.<reason>"]`` for engine-wide summaries.
+        self.drops: Dict[str, int] = {}
         #: Bytes successfully put on the wire (serialised), for utilisation.
         self.tx_bytes = 0
         self.tx_packets = 0
@@ -106,20 +116,57 @@ class Interface:
         """Install (or clear) a deterministic loss injector."""
         self.loss_fn = loss_fn
 
+    def set_impairments(self, chain: Optional["ImpairmentChain"]) -> None:
+        """Attach (or clear) an impairment pipeline on this egress."""
+        self._impairments = chain
+
+    @property
+    def down_drops(self) -> int:
+        """Packets dropped because the interface was administratively down."""
+        return self.drops.get("down", 0)
+
+    @property
+    def injected_losses(self) -> int:
+        """Packets dropped by the legacy ``loss_fn`` hook."""
+        return self.drops.get("injected", 0)
+
+    @property
+    def total_drops(self) -> int:
+        """All egress drops on this interface, every reason included."""
+        return sum(self.drops.values())
+
+    def _drop(self, packet: Packet, reason: str) -> None:
+        """Charge one drop to the taxonomy and the engine-wide counters."""
+        self.drops[reason] = self.drops.get(reason, 0) + 1
+        counters = self.sim.counters
+        key = "drop." + reason
+        counters[key] = counters.get(key, 0) + 1
+        self._notify("drop", packet)
+
     def send(self, packet: Packet) -> None:
         """Entry point for the node: queue the packet and kick the transmitter."""
         if self.peer is None:
             raise ConfigurationError(f"interface {self.name} is not connected")
         if not self.up:
-            self.down_drops += 1
-            self._notify("drop", packet)
+            self._drop(packet, "down")
             return
         if self.loss_fn is not None and self.loss_fn(packet):
-            self.injected_losses += 1
-            self._notify("drop", packet)
+            self._drop(packet, "injected")
             return
+        chain = self._impairments
+        if chain is not None:
+            chain.send_through(self, packet)
+            return
+        self._enqueue(packet)
+
+    def _enqueue(self, packet: Packet) -> None:
+        """Post-impairment path: offer to the discipline, kick the wire.
+
+        Held (reordered) packets re-enter here directly so a packet passes
+        the impairment chain exactly once.
+        """
         if not self.queue.offer(packet):
-            self._notify("drop", packet)
+            self._drop(packet, "queue")
             return
         if self._taps:
             self._notify("enqueue", packet)

@@ -61,6 +61,9 @@ class Packet:
     #: then set Congestion Experienced instead of dropping.
     ecn_capable: bool = False
     ce: bool = False
+    #: Set by a Corrupt impairment stage; the receiving transport's
+    #: checksum validation discards flagged packets.
+    corrupted: bool = False
     uid: int = field(default_factory=lambda: next(_packet_ids))
 
     def __post_init__(self) -> None:
@@ -140,6 +143,7 @@ class PacketPool:
             packet.created_at = 0.0
             packet.ecn_capable = ecn_capable
             packet.ce = False
+            packet.corrupted = False
             packet.uid = next(_packet_ids)
             self.reused += 1
             return packet

@@ -56,6 +56,10 @@ class FlowMonitor:
     def __init__(self, clock: Optional[Clock] = None) -> None:
         self.clock = clock
         self.flows: Dict[str, FlowStats] = {}
+        #: Interfaces under observation, for the drop-taxonomy summary.
+        self.interfaces: List[Interface] = []
+        #: TCP sockets registered via :meth:`track_socket`.
+        self.sockets: List[object] = []
 
     def watch(self, interface: Interface,
               kinds: Iterable[str] = ("rx", "tx", "drop")) -> None:
@@ -68,6 +72,7 @@ class FlowMonitor:
             self._observe(kind, time, packet)
 
         interface.add_tap(tap)
+        self.interfaces.append(interface)
 
     def _observe(self, kind: str, time: float, packet: Packet) -> None:
         flow_id = packet.flow_id if packet.flow_id is not None else UNLABELLED
@@ -102,3 +107,40 @@ class FlowMonitor:
     def total_drops(self) -> int:
         """Drops across every observed flow."""
         return sum(stats.drops for stats in self.flows.values())
+
+    # Drop taxonomy and TCP accounting ---------------------------------
+
+    def interface_drops(self) -> Dict[str, Dict[str, int]]:
+        """Per-interface drop taxonomy (``{iface name: {reason: count}}``).
+
+        Reasons are the NIC taxonomy: "down", "injected", "queue", plus
+        impairment-stage reasons ("loss", "reorder", "duplicate",
+        "corrupt", "flap"). Interfaces with no drops map to ``{}``.
+        """
+        return {iface.name: dict(iface.drops) for iface in self.interfaces}
+
+    def drops_by_reason(self) -> Dict[str, int]:
+        """The taxonomy aggregated across every watched interface."""
+        totals: Dict[str, int] = {}
+        for iface in self.interfaces:
+            for reason, count in iface.drops.items():
+                totals[reason] = totals.get(reason, 0) + count
+        return totals
+
+    def track_socket(self, sock: object) -> None:
+        """Register a TCP socket for retransmission accounting."""
+        self.sockets.append(sock)
+
+    def tcp_summary(self) -> Dict[str, int]:
+        """Retransmission/dupack accounting summed over tracked sockets.
+
+        Keys mirror ``TcpSocket.info()``: retransmits, timeouts,
+        dupacks_received, fast_retransmits, fast_recoveries.
+        """
+        keys = ("retransmits", "timeouts", "dupacks_received",
+                "fast_retransmits", "fast_recoveries")
+        totals = {key: 0 for key in keys}
+        for sock in self.sockets:
+            for key in keys:
+                totals[key] += getattr(sock, key, 0)
+        return totals

@@ -68,8 +68,16 @@ class RttEstimator:
         self._rto = min(max(raw, self.min_rto), self.max_rto)
 
     def backoff(self) -> None:
-        """Double the effective RTO after a retransmission timeout."""
-        self._backoff = min(self._backoff * 2, 1 << 16)
+        """Double the effective RTO after a retransmission timeout.
+
+        The multiplier itself is clamped so ``_rto * _backoff`` never
+        exceeds ``max_rto``: an unchecked multiplier (the old ``1 << 16``
+        guard) only *looked* bounded because the ``rto`` property min'd the
+        product, but it left a stale super-max product behind that any
+        future consumer of the raw state could trip over.
+        """
+        cap = max(1.0, self.max_rto / self._rto) if self._rto > 0 else 1.0
+        self._backoff = min(self._backoff * 2, cap)
 
     def reset(self) -> None:
         """Forget all history (used on connection restart)."""

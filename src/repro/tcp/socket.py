@@ -213,6 +213,14 @@ class TcpSocket:
         self.retransmits = 0
         self.timeouts = 0
         self.bytes_acked = 0
+        #: Cumulative duplicate ACKs seen (``_dupacks`` is the per-episode
+        #: counter that resets; this one never does).
+        self.dupacks_received = 0
+        #: Fast retransmits fired on the third dupack (SACK or classic).
+        self.fast_retransmits = 0
+        #: Fast-recovery episodes entered (0 forever on Tahoe, whose
+        #: response to the third dupack is a slow-start collapse instead).
+        self.fast_recoveries = 0
 
     # ================================================================= helpers
 
@@ -415,6 +423,8 @@ class TcpSocket:
         )
         if retransmission:
             self.retransmits += 1
+            counters = self.node.sim.counters
+            counters["tcp.retransmits"] = counters.get("tcp.retransmits", 0) + 1
             if self._timed_seq is not None and seq < self._timed_seq <= seq + max(length, 1):
                 self._timed_seq = None  # Karn: never sample a retransmission
         self._high_water = max(self._high_water, segment.end_seq)
@@ -462,6 +472,8 @@ class TcpSocket:
             return
         self._retries += 1
         self.timeouts += 1
+        counters = self.node.sim.counters
+        counters["tcp.timeouts"] = counters.get("tcp.timeouts", 0) + 1
         if self._retries > MAX_RETRIES:
             self._abort(ProtocolError("too many retransmission timeouts"))
             return
@@ -552,6 +564,7 @@ class TcpSocket:
     def _enter_sack_recovery(self) -> None:
         now = self.clock.now()
         self.cc.on_enter_recovery_sack(self.flight_size, now)
+        self.fast_recoveries += 1
         self._in_recovery = True
         self._recover = self.snd_nxt
         self._timed_seq = None
@@ -872,6 +885,9 @@ class TcpSocket:
 
     def _process_dup_ack(self) -> None:
         self._dupacks += 1
+        self.dupacks_received += 1
+        counters = self.node.sim.counters
+        counters["tcp.dupacks"] = counters.get("tcp.dupacks", 0) + 1
         if self._in_recovery:
             if self.options.sack and self.cc.supports_fast_recovery:
                 self._recovery_send()  # pipe shrank: maybe send more
@@ -881,12 +897,14 @@ class TcpSocket:
             return
         if self._dupacks == 3:
             now = self.clock.now()
+            self.fast_retransmits += 1
             if self.options.sack and self.cc.supports_fast_recovery:
                 self._enter_sack_recovery()
                 return
             self.cc.on_enter_recovery(self.flight_size, now)
             self._timed_seq = None
             if self.cc.supports_fast_recovery:
+                self.fast_recoveries += 1
                 self._in_recovery = True
                 self._recover = self.snd_nxt
             else:
@@ -1006,6 +1024,9 @@ class TcpSocket:
             "segments_received": self.segments_received,
             "retransmits": self.retransmits,
             "timeouts": self.timeouts,
+            "dupacks_received": self.dupacks_received,
+            "fast_retransmits": self.fast_retransmits,
+            "fast_recoveries": self.fast_recoveries,
             "bytes_acked": self.bytes_acked,
             "bytes_received": self.bytes_received,
         }

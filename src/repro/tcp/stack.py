@@ -49,6 +49,9 @@ class TcpStack:
         node.register_protocol("tcp", self)
         #: Stray segments answered with RST (observability).
         self.resets_sent = 0
+        #: Segments discarded for failing checksum validation (packets a
+        #: Corrupt impairment stage flagged in flight).
+        self.checksum_drops = 0
 
     # ------------------------------------------------------------------- ports
 
@@ -119,6 +122,13 @@ class TcpStack:
 
     def deliver(self, packet: Packet) -> None:
         """Protocol-handler entry point from the node."""
+        if packet.corrupted:
+            # Checksum failure: silently discard, exactly like a kernel.
+            # The sender only learns via dupacks or an RTO.
+            self.checksum_drops += 1
+            counters = self.node.sim.counters
+            counters["drop.checksum"] = counters.get("drop.checksum", 0) + 1
+            return
         segment = packet.payload
         if not isinstance(segment, Segment):
             raise AddressError(f"non-TCP payload delivered to TcpStack: {packet!r}")

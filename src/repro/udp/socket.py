@@ -113,6 +113,8 @@ class UdpStack:
         node.register_protocol("udp", self)
         #: Datagrams that arrived for an unbound port.
         self.dropped_unbound = 0
+        #: Datagrams discarded for failing checksum validation.
+        self.checksum_drops = 0
 
     def bind(
         self,
@@ -144,6 +146,12 @@ class UdpStack:
 
     def deliver(self, packet: Packet) -> None:
         """Protocol-handler entry point."""
+        if packet.corrupted:
+            self.checksum_drops += 1
+            counters = self.node.sim.counters
+            counters["drop.checksum"] = counters.get("drop.checksum", 0) + 1
+            SHARED_POOL.release(packet)
+            return
         datagram = packet.payload
         if not isinstance(datagram, Datagram):
             raise AddressError(f"non-UDP payload delivered to UdpStack: {packet!r}")

@@ -10,6 +10,7 @@ def test_registry_covers_design_doc():
     expected = {
         "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
         "fig9", "fig10", "ablation1", "ablation2", "ext1", "ext2", "ext3",
+        "ext4",
     }
     assert set(figure_ids()) == expected
 
@@ -56,6 +57,16 @@ def test_cli_runs_table1(capsys):
     out = capsys.readouterr().out
     assert "PASS" in out
     assert "Perceived resources" in out
+
+
+def test_cli_impair_rejected_for_figures_without_the_axis(capsys):
+    assert cli.main(["fig3", "--impair", "bernoulli:rate=0.01"]) == 2
+    assert "no --impair axis" in capsys.readouterr().err
+
+
+def test_run_figure_impair_rejected_without_axis():
+    with pytest.raises(ValueError):
+        run_figure("table1", impair="bernoulli:rate=0.01")
 
 
 def test_cli_csv_export(tmp_path, capsys):

@@ -117,3 +117,17 @@ def test_render_mentions_throughput_and_components():
     assert "events/sec" in text
     assert "tick" in text
     assert "compactions" in text
+
+
+def test_named_counters_merged_across_sims_and_rendered():
+    profiler = EngineProfiler()
+    sims = [Simulator(), Simulator()]
+    for index, sim in enumerate(sims):
+        sim.attach_profiler(profiler)
+        sim.counters["drop.loss"] = 3 + index
+        sim.schedule(1.0, tick)
+        sim.run()
+    assert profiler.counters() == {"drop.loss": 7}
+    snap = profiler.snapshot()
+    assert snap["counters"] == {"drop.loss": 7}
+    assert "drop.loss" in profiler.render()

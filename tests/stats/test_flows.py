@@ -105,3 +105,38 @@ def test_missing_flow_raises():
     _, _, _, _, monitor = build()
     with pytest.raises(KeyError):
         monitor.flow("ghost")
+
+
+def test_interface_drop_taxonomy_surfaced():
+    from repro.simnet.impairments import BernoulliLoss, ImpairmentChain
+
+    net, a, b, link, monitor = build()
+    link.a_to_b.set_impairments(
+        ImpairmentChain([BernoulliLoss(0.05, seed=2)])
+    )
+    events = Collector()
+    TcpStack(b).listen(80, events.on_accept, on_data=events.on_data)
+    TcpStack(a).connect("b", 80, flow_id="f").send(200_000)
+    net.run(until=10.0)
+    per_iface = monitor.interface_drops()
+    assert per_iface[link.a_to_b.name].get("loss", 0) > 0
+    assert per_iface[link.b_to_a.name] == {}
+    assert monitor.drops_by_reason()["loss"] == \
+        per_iface[link.a_to_b.name]["loss"]
+
+
+def test_tcp_summary_aggregates_tracked_sockets():
+    net, a, b, link, monitor = build()
+    link.a_to_b.set_loss(
+        lambda pkt: 20_000 < getattr(pkt.payload, "seq", 0) < 25_000
+    )
+    events = Collector()
+    TcpStack(b).listen(80, events.on_accept, on_data=events.on_data)
+    sock = TcpStack(a).connect("b", 80, flow_id="f")
+    monitor.track_socket(sock)
+    sock.send(100_000)
+    net.run(until=10.0)
+    summary = monitor.tcp_summary()
+    assert summary["retransmits"] == sock.retransmits > 0
+    assert summary["dupacks_received"] == sock.dupacks_received
+    assert summary["fast_recoveries"] == sock.fast_recoveries

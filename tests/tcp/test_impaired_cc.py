@@ -1,0 +1,130 @@
+"""TCP behaviour under impairments: recovery style, dupacks, corruption.
+
+The interesting interaction is between impairment-induced signals
+(reordering, duplication, loss) and the congestion-control flavor:
+
+* Reno/NewReno treat the third dupack as a fast-retransmit trigger and
+  *recover* — cwnd halves, the flow keeps its ACK clock.
+* Tahoe fires the same retransmit but then collapses to slow start — no
+  fast-recovery episode is ever recorded.
+"""
+
+import pytest
+
+from repro.simnet.impairments import (
+    BernoulliLoss,
+    Duplicate,
+    Corrupt,
+    ImpairmentChain,
+    Reorder,
+)
+from repro.simnet.units import mbps, ms
+from repro.tcp import TcpOptions
+from tests.helpers import Collector, two_hosts
+
+
+def lossy_transfer(flavor, stage, total=400_000, sack=False, until=60.0):
+    """Run one transfer with ``stage`` impairing the data direction."""
+    options = TcpOptions(flavor=flavor, sack=sack)
+    net, a, b, sa, sb, link = two_hosts(
+        bandwidth_bps=mbps(10), delay_s=ms(10), tcp_options=options
+    )
+    link.a_to_b.set_impairments(ImpairmentChain([stage]))
+    events = Collector()
+    sb.listen(80, events.on_accept, on_data=events.on_data)
+    client = sa.connect("b", 80)
+    client.send(total)
+    net.run(until=until)
+    return net, client, events
+
+
+@pytest.mark.parametrize("flavor", ["reno", "newreno", "tahoe"])
+def test_transfer_completes_despite_random_loss(flavor):
+    net, client, events = lossy_transfer(flavor, BernoulliLoss(0.02, seed=5))
+    assert events.total_bytes == 400_000
+    assert client.retransmits > 0
+
+
+def test_reno_recovers_via_fast_recovery_under_loss():
+    net, client, events = lossy_transfer("reno", BernoulliLoss(0.02, seed=5))
+    assert events.total_bytes == 400_000
+    assert client.fast_retransmits > 0
+    assert client.fast_recoveries > 0
+    assert client.dupacks_received >= 3 * client.fast_retransmits
+
+
+def test_tahoe_never_enters_fast_recovery():
+    """Tahoe fast-retransmits on the third dupack but collapses to slow
+    start instead of recovering — the taxonomy keeps the two distinct."""
+    net, client, events = lossy_transfer("tahoe", BernoulliLoss(0.02, seed=5))
+    assert events.total_bytes == 400_000
+    assert client.fast_retransmits > 0
+    assert client.fast_recoveries == 0
+
+
+def test_tahoe_pays_for_the_collapse_in_goodput():
+    """Same seed, same loss pattern: Reno's fast recovery must beat
+    Tahoe's restart-from-one-MSS response. Compared mid-flight so the
+    faster flavor hasn't already drained the send buffer."""
+    _, reno, _ = lossy_transfer("reno", BernoulliLoss(0.02, seed=5),
+                                total=4_000_000, until=5.0)
+    _, tahoe, _ = lossy_transfer("tahoe", BernoulliLoss(0.02, seed=5),
+                                 total=4_000_000, until=5.0)
+    assert reno.bytes_acked > tahoe.bytes_acked
+
+
+def test_reordering_triggers_dupacks_but_no_timeout_for_reno():
+    # Hold-back far beyond the ~1.2 ms packet spacing: reordered packets
+    # arrive several positions late, generating dupack bursts.
+    stage = Reorder(0.05, hold_s=0.008, seed=9)
+    net, client, events = lossy_transfer("reno", stage)
+    assert events.total_bytes == 400_000
+    assert client.dupacks_received > 0
+    # Nothing was lost, so every spurious fast retransmit still recovered
+    # without an RTO.
+    assert client.timeouts == 0
+
+
+def test_reordering_collapses_tahoe_but_not_reno():
+    """Pure reordering costs Tahoe real window (every spurious third
+    dupack restarts slow start) while Reno only halves."""
+    stage_args = dict(rate=0.05, hold_s=0.008, seed=9)
+    _, reno, _ = lossy_transfer("reno", Reorder(**stage_args), until=20.0)
+    _, tahoe, _ = lossy_transfer("tahoe", Reorder(**stage_args), until=20.0)
+    assert tahoe.fast_retransmits > 0
+    assert tahoe.fast_recoveries == 0
+    assert reno.fast_recoveries > 0
+    assert reno.bytes_acked >= tahoe.bytes_acked
+
+
+def test_duplication_is_harmless_to_the_transfer():
+    """Duplicate data segments produce duplicate ACKs at the receiver but
+    never three in a row for the same hole — no spurious recovery, no
+    retransmissions, full goodput."""
+    net, client, events = lossy_transfer("reno", Duplicate(0.05, seed=3))
+    assert events.total_bytes == 400_000
+    assert client.retransmits == 0
+    assert client.timeouts == 0
+
+
+def test_corruption_behaves_like_loss_to_the_sender():
+    net, client, events = lossy_transfer("newreno", Corrupt(0.02, seed=4))
+    assert events.total_bytes == 400_000
+    # The receiver's checksum discarded segments; the sender had to
+    # retransmit them exactly as if the wire had eaten them.
+    assert events.accepted[0].stack.checksum_drops > 0
+    assert client.retransmits > 0
+    assert net.sim.counters["drop.checksum"] == \
+        events.accepted[0].stack.checksum_drops
+
+
+def test_sack_recovery_also_counts_episodes():
+    net, client, events = lossy_transfer(
+        "newreno", BernoulliLoss(0.02, seed=5), sack=True
+    )
+    assert events.total_bytes == 400_000
+    assert client.fast_recoveries > 0
+    info = client.info()
+    assert info["fast_recoveries"] == client.fast_recoveries
+    assert info["dupacks_received"] == client.dupacks_received
+    assert info["fast_retransmits"] == client.fast_retransmits

@@ -51,6 +51,31 @@ def test_backoff_doubles_until_cap():
     assert est.rto == 8.0  # capped
 
 
+def test_backoff_multiplier_itself_is_clamped():
+    """Regression: the multiplier used to grow unchecked to 1<<16 with only
+    the ``rto`` property min'ing the product, leaving a stale super-max
+    product in raw state. The multiplier must now stop once the product
+    reaches ``max_rto``."""
+    est = RttEstimator(initial_rto=1.0, max_rto=60.0)
+    for _ in range(30):
+        est.backoff()
+        assert est._rto * est._backoff <= est.max_rto + 1e-9
+        assert est.rto <= est.max_rto
+    assert est._backoff <= 60.0  # not 1 << 16
+
+
+def test_backoff_observe_interleaving_never_reports_super_max():
+    est = RttEstimator(initial_rto=1.0, min_rto=0.2, max_rto=60.0)
+    for round_no in range(5):
+        for _ in range(20):
+            est.backoff()
+            assert est.rto <= est.max_rto
+            assert est._rto * est._backoff <= est.max_rto + 1e-9
+        est.observe(0.1 * (round_no + 1))
+        assert est._backoff == 1
+        assert est.rto <= est.max_rto
+
+
 def test_sample_clears_backoff():
     est = RttEstimator(min_rto=0.2)
     est.observe(0.1)

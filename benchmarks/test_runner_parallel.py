@@ -1,0 +1,82 @@
+"""Sweep-runner speedup benchmark — process-pool fan-out vs sequential.
+
+Drives the same mid-weight figure set through ``run_sweep`` twice — once
+strictly sequential in-process (``jobs=1``) and once through the process
+pool — with the result cache disabled, so both runs execute every cell.
+Records wall clock, speedup, and the cell count in ``BENCH_runner.json``
+at the repo root.
+
+Two assertions, one unconditional and one gated:
+
+* the parallel figures must be **byte-identical** to the sequential ones
+  (the tentpole guarantee — always checked, on any machine);
+* the issue's acceptance bar — **>= 2x** speedup — is asserted only when
+  the machine actually has >= 4 cores. On smaller runners (CI shared
+  vCPUs, laptops on battery) the numbers are still recorded for review
+  but cannot meaningfully clear a parallelism bar.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.harness.runner import run_sweep
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_JSON = REPO_ROOT / "BENCH_runner.json"
+
+#: Acceptance bar from the issue, asserted on >= MIN_CORES_FOR_BAR cores.
+REQUIRED_SPEEDUP = 2.0
+MIN_CORES_FOR_BAR = 4
+
+#: Mid-weight figures: enough independent cells (~20) to keep a pool busy,
+#: small enough that the benchmark stays in tens of seconds. The heaviest
+#: single cell (fig9's swarm, ~3 s) bounds the parallel critical path.
+FIGURE_IDS = ["fig9", "fig5", "ext1", "ext2", "ext3", "ext4", "table2"]
+
+
+def _timed_sweep(jobs):
+    started = time.perf_counter()
+    outcome = run_sweep(FIGURE_IDS, jobs=jobs, cache_dir=None)
+    return outcome, time.perf_counter() - started
+
+
+def test_parallel_sweep_speedup():
+    cpus = os.cpu_count() or 1
+    jobs = max(2, min(cpus, 8))
+
+    sequential, sequential_s = _timed_sweep(1)
+    parallel, parallel_s = _timed_sweep(jobs)
+    speedup = sequential_s / parallel_s if parallel_s > 0 else 0.0
+
+    record = {
+        "figures": FIGURE_IDS,
+        "cells": sequential.cells_total,
+        "cpu_count": cpus,
+        "jobs": jobs,
+        "sequential_s": round(sequential_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(speedup, 3),
+        "required_speedup": REQUIRED_SPEEDUP,
+        "speedup_asserted": cpus >= MIN_CORES_FOR_BAR,
+    }
+    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+
+    print()
+    print(f"{sequential.cells_total} cells: sequential {sequential_s:.1f} s, "
+          f"{jobs} jobs {parallel_s:.1f} s -> {speedup:.2f}x "
+          f"({cpus} core(s)) -> {BENCH_JSON.name}")
+
+    # The guarantee that makes the parallelism free: identical bytes.
+    assert sequential.all_passed and parallel.all_passed
+    for seq, par in zip(sequential.figures, parallel.figures):
+        assert seq.render() == par.render(), seq.figure_id
+
+    if cpus >= MIN_CORES_FOR_BAR:
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"parallel sweep is only {speedup:.2f}x sequential on "
+            f"{cpus} cores (required {REQUIRED_SPEEDUP}x); see {BENCH_JSON}"
+        )

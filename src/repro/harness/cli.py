@@ -4,7 +4,16 @@ Examples::
 
     repro-figure --list
     repro-figure fig3
-    repro-figure all
+    repro-figure all --jobs 4 --timings
+    repro-figure all --jobs 1 --no-cache   # the strictly sequential path
+
+Figures are executed as a deduplicated cell sweep
+(:mod:`repro.harness.runner`): by default cells fan out over
+``os.cpu_count()`` worker processes and completed cells are cached under
+``.repro-cache/``, so an interrupted ``all`` resumes where it stopped.
+Output is merged in spec order and is byte-identical whatever ``--jobs``
+is. ``--profile-engine`` takes the classic sequential in-process path —
+the engine profiler is a per-process singleton, so it cannot span a pool.
 """
 
 from __future__ import annotations
@@ -15,6 +24,7 @@ import time
 from typing import List, Optional
 
 from .figures import FIGURES, figure_ids, run_figure
+from .runner import DEFAULT_CACHE_DIR, run_sweep
 
 __all__ = ["main"]
 
@@ -41,10 +51,36 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write each experiment's table to DIR/<id>.csv",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        default=None,
+        help="worker processes for the cell sweep (default: cpu count; "
+             "1 = run every cell in-process, no pool)",
+    )
+    parser.add_argument(
+        "--timings",
+        action="store_true",
+        help="print a per-cell wall-clock / peak-RSS / engine-event table "
+             "after the sweep",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=DEFAULT_CACHE_DIR,
+        help=f"content-addressed result cache (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the result cache",
+    )
+    parser.add_argument(
         "--profile-engine",
         action="store_true",
         help="append an event-engine profile (events/sec, heap stats, "
-             "per-component histogram) to each experiment's report",
+             "per-component histogram) to each experiment's report; "
+             "implies the sequential in-process path",
     )
     parser.add_argument(
         "--impair",
@@ -58,24 +94,13 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    args = _build_parser().parse_args(argv)
-    if args.list or not args.figures:
-        print("available experiments:")
-        for figure_id in figure_ids():
-            doc = (FIGURES[figure_id].__doc__ or "").strip().splitlines()[0]
-            print(f"  {figure_id:10s} {doc}")
-        return 0
-    requested = figure_ids() if args.figures == ["all"] else args.figures
+def _run_profiled(requested: List[str], args: argparse.Namespace) -> int:
+    """The classic sequential path: one profiled figure at a time."""
     failures = 0
     for figure_id in requested:
-        if figure_id not in FIGURES:
-            print(f"unknown figure {figure_id!r}; use --list", file=sys.stderr)
-            return 2
         started = time.time()
         try:
-            result = run_figure(figure_id, profile_engine=args.profile_engine,
+            result = run_figure(figure_id, profile_engine=True,
                                 impair=args.impair)
         except ValueError as error:
             print(str(error), file=sys.stderr)
@@ -92,6 +117,59 @@ def main(argv: Optional[List[str]] = None) -> int:
         print()
         if not result.all_passed:
             failures += 1
+    if failures:
+        print(f"{failures} experiment(s) had failing checks", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.list or not args.figures:
+        print("available experiments:")
+        for figure_id in figure_ids():
+            doc = (FIGURES[figure_id].__doc__ or "").strip().splitlines()[0]
+            print(f"  {figure_id:10s} {doc}")
+        return 0
+    requested = figure_ids() if args.figures == ["all"] else args.figures
+    for figure_id in requested:
+        if figure_id not in FIGURES:
+            print(f"unknown figure {figure_id!r}; use --list", file=sys.stderr)
+            return 2
+    if args.profile_engine:
+        return _run_profiled(requested, args)
+
+    cache_dir = None if args.no_cache else args.cache_dir
+    try:
+        outcome = run_sweep(
+            requested,
+            jobs=args.jobs,
+            impair=args.impair,
+            cache_dir=cache_dir,
+            collect_timings=args.timings,
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    failures = 0
+    for result in outcome.figures:
+        print(result.render())
+        if args.csv:
+            import os
+
+            os.makedirs(args.csv, exist_ok=True)
+            path = result.write_csv(args.csv)
+            print(f"  csv: {path}")
+        print()
+        if not result.all_passed:
+            failures += 1
+    # Deliberately free of wall time and job count: stdout is byte-identical
+    # for any --jobs value (those diagnostics live in the --timings table).
+    print(outcome.cache_summary())
+    if args.timings:
+        print()
+        print(outcome.timings_table())
     if failures:
         print(f"{failures} experiment(s) had failing checks", file=sys.stderr)
         return 1

@@ -40,14 +40,17 @@ __all__ = [
     "CpuResult",
     "CrossTrafficResult",
     "ConsolidationResult",
+    "DynamicTdfResult",
     "run_bulk",
     "run_web",
     "run_bittorrent",
     "run_cpu_task",
     "run_bulk_with_cross_traffic",
     "run_consolidated",
+    "run_dynamic_tdf",
     "default_queue_packets",
     "relative_error",
+    "RUNNERS",
 ]
 
 #: Frame size used for queue-sizing arithmetic (MSS + headers).
@@ -684,6 +687,67 @@ class SimulationErrorForBuildJob(RuntimeError):
         )
 
 
+# ================================================================= dynamic TDF
+
+
+@dataclass
+class DynamicTdfResult:
+    """One flow timed across a runtime TDF change, virtual units."""
+
+    #: Perceived goodput during each TDF phase, bits per virtual second.
+    phase_rates_bps: List[float]
+    #: The TDF in force during each phase (parallel to ``phase_rates_bps``).
+    phase_tdfs: List[int]
+    #: The guest clock at the end of the run (continuity check).
+    final_virtual_s: float
+
+
+def run_dynamic_tdf(
+    physical_bandwidth_bps: float,
+    physical_delay_s: float,
+    tdf_schedule: List[int],
+    phase_s: float = 3.0,
+    queue_packets: int = 100,
+) -> DynamicTdfResult:
+    """One TCP flow across runtime TDF changes (ablation A2).
+
+    Runs ``len(tdf_schedule)`` phases of ``phase_s`` virtual seconds each;
+    between phases the hypervisor re-dilates both guests live. The
+    physical wire never changes — only the guests' perception of it does.
+    """
+    from ..core.vmm import Hypervisor
+
+    net = Network()
+    a = net.add_node("a")
+    b = net.add_node("b")
+    net.add_link(a, b, physical_bandwidth_bps, physical_delay_s,
+                 queue_factory=lambda: DropTailQueue(
+                     capacity_packets=queue_packets))
+    net.finalize()
+    vmm = Hypervisor(net.sim)
+    vmm.create_vm("vma", tdf=tdf_schedule[0], cpu_share=0.5, node=a)
+    vm_b = vmm.create_vm("vmb", tdf=tdf_schedule[0], cpu_share=0.5, node=b)
+    server = IperfServer(TcpStack(b))
+    IperfClient(TcpStack(a), "b").start()
+    rates: List[float] = []
+    delivered = 0
+    elapsed = 0.0
+    for index, tdf in enumerate(tdf_schedule):
+        if index > 0:
+            vmm.set_tdf("vma", tdf)
+            vmm.set_tdf("vmb", tdf)
+        elapsed += phase_s
+        net.run(until=vm_b.clock.to_physical(elapsed))
+        phase_bytes = server.total_bytes - delivered
+        delivered = server.total_bytes
+        rates.append(phase_bytes * 8 / phase_s)
+    return DynamicTdfResult(
+        phase_rates_bps=rates,
+        phase_tdfs=list(tdf_schedule),
+        final_virtual_s=vm_b.clock.now(),
+    )
+
+
 # ========================================================================= CPU
 
 
@@ -720,3 +784,23 @@ def run_cpu_task(
         physical_duration_s=done["physical"],
         perceived_speedup=nominal / done["virtual"],
     )
+
+
+# ================================================================== registry
+
+#: Spec-driven entry points for the parallel sweep runner: every runner a
+#: :class:`~repro.harness.runner.CellSpec` may name. Each is a pure
+#: function of its keyword arguments — it builds its own Network/Simulator,
+#: runs to completion, and returns a picklable result dataclass — which is
+#: exactly what lets a cell execute in any process, in any order, with
+#: bit-identical results.
+RUNNERS = {
+    "run_bulk": run_bulk,
+    "run_web": run_web,
+    "run_bittorrent": run_bittorrent,
+    "run_cpu_task": run_cpu_task,
+    "run_bulk_with_cross_traffic": run_bulk_with_cross_traffic,
+    "run_consolidated": run_consolidated,
+    "run_guest_build_job": run_guest_build_job,
+    "run_dynamic_tdf": run_dynamic_tdf,
+}

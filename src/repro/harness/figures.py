@@ -6,12 +6,20 @@ see DESIGN.md's mismatch note). Each returns a
 plus machine-checked *shape* assertions: dilated-vs-baseline agreement,
 who wins, where knees fall. Benchmarks and the CLI both consume this
 registry.
+
+Since the parallel sweep runner, every figure exists in a two-phase form
+(:data:`CELL_MODEL`): ``cells()`` enumerates the figure's independent
+simulations as picklable :class:`~repro.harness.runner.CellSpec`\\ s and
+``assemble(results)`` folds their results into the FigureResult. The
+classic one-shot functions in :data:`FIGURES` are thin wrappers that
+execute their own cells in-process and assemble — same code path, same
+bytes — so ``run_figure`` behaves exactly as it always did while
+``repro-figure --jobs N`` fans the same cells out across processes.
 """
 
 from __future__ import annotations
 
-import inspect
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from ..core.dilation import (
     NetworkProfile,
@@ -22,19 +30,11 @@ from ..simnet.impairments import ImpairmentSpec
 from ..simnet.units import format_rate, format_time, gbps, mbps, ms
 from ..stats.cdf import ks_distance, percentile
 from .ascii_chart import line_chart
-from .experiments import (
-    relative_error,
-    run_bittorrent,
-    run_bulk,
-    run_bulk_with_cross_traffic,
-    run_consolidated,
-    run_cpu_task,
-    run_guest_build_job,
-    run_web,
-)
+from .experiments import relative_error
 from .report import FigureResult, Table
+from .runner import CellSpec, FigureCells, execute_cells_inline
 
-__all__ = ["FIGURES", "figure_ids", "run_figure"]
+__all__ = ["FIGURES", "CELL_MODEL", "figure_ids", "run_figure"]
 
 #: Agreement tolerance between a dilated run and its scaled baseline.
 #: The substrate is deterministic, so this is float-jitter headroom only.
@@ -47,8 +47,18 @@ EQUIVALENCE_TOLERANCE = 0.02
 LOSSY_TOLERANCE = 0.05
 
 
-def table1_resource_scaling() -> FigureResult:
-    """Table 1: what a fixed physical testbed looks like under dilation."""
+def _cell(figure_id: str, key: str, runner: str, **kwargs: Any) -> CellSpec:
+    return CellSpec(figure_id=figure_id, key=key, runner=runner, kwargs=kwargs)
+
+
+# =============================================================== table1
+
+
+def _table1_cells() -> List[CellSpec]:
+    return []  # pure arithmetic — nothing to simulate
+
+
+def _table1_assemble(results: Mapping[str, Any]) -> FigureResult:
     physical = NetworkProfile(mbps(100), ms(10), cpu_cycles_per_second=1e9)
     rows = resource_scaling_rows(physical, tdfs=[1, 10, 100, 1000])
     table = Table(
@@ -82,24 +92,44 @@ def table1_resource_scaling() -> FigureResult:
     return result
 
 
-def table2_cpu_dilation() -> FigureResult:
-    """Table 2: CPU-bound task timing with and without share compensation."""
+def table1_resource_scaling() -> FigureResult:
+    """Table 1: what a fixed physical testbed looks like under dilation."""
+    return _run_inline("table1")
+
+
+# =============================================================== table2
+
+_TABLE2_CASES = [
+    (tdf, share)
+    for tdf in (1, 2, 10)
+    for share in (1.0, cpu_share_for_constant_speed(tdf))
+]
+
+
+def _table2_cells() -> List[CellSpec]:
+    return [
+        _cell("table2", f"tdf{tdf}-share{share!r}", "run_cpu_task",
+              tdf=tdf, cpu_share=share)
+        for tdf, share in _TABLE2_CASES
+    ]
+
+
+def _table2_assemble(results: Mapping[str, Any]) -> FigureResult:
     table = Table(
         ["TDF", "VMM share", "virtual time", "physical time",
          "perceived speedup"],
         title="2e9-cycle task on a 1 GHz host (nominal 2.0 s)",
     )
     cases = []
-    for tdf in (1, 2, 10):
-        for share in (1.0, cpu_share_for_constant_speed(tdf)):
-            result = run_cpu_task(tdf, share)
-            cases.append((tdf, share, result))
-            table.add_row(
-                tdf, f"{share:.2f}",
-                f"{result.virtual_duration_s:.3f} s",
-                f"{result.physical_duration_s:.3f} s",
-                f"{result.perceived_speedup:.1f}x",
-            )
+    for tdf, share in _TABLE2_CASES:
+        result = results[f"tdf{tdf}-share{share!r}"]
+        cases.append((tdf, share, result))
+        table.add_row(
+            tdf, f"{share:.2f}",
+            f"{result.virtual_duration_s:.3f} s",
+            f"{result.physical_duration_s:.3f} s",
+            f"{result.perceived_speedup:.1f}x",
+        )
     figure = FigureResult("table2", "CPU dilation and compensation", table)
     full_share = {tdf: r for tdf, share, r in cases if share == 1.0}
     compensated = {
@@ -130,10 +160,30 @@ def table2_cpu_dilation() -> FigureResult:
     return figure
 
 
-def fig3_throughput_vs_rtt() -> FigureResult:
-    """Figure 3: TCP throughput vs RTT; dilated curves coincide with TDF 1."""
-    rtts_ms = [10, 20, 40, 80, 160]
-    tdfs = [1, 10, 100]
+def table2_cpu_dilation() -> FigureResult:
+    """Table 2: CPU-bound task timing with and without share compensation."""
+    return _run_inline("table2")
+
+
+# ================================================================= fig3
+
+_FIG3_RTTS_MS = [10, 20, 40, 80, 160]
+_FIG3_TDFS = [1, 10, 100]
+
+
+def _fig3_cells() -> List[CellSpec]:
+    return [
+        _cell("fig3", f"rtt{rtt}-tdf{k}", "run_bulk",
+              perceived=NetworkProfile.from_rtt(mbps(100), ms(rtt)),
+              tdf=k, duration_s=6.0, warmup_s=2.0)
+        for rtt in _FIG3_RTTS_MS
+        for k in _FIG3_TDFS
+    ]
+
+
+def _fig3_assemble(cell_results: Mapping[str, Any]) -> FigureResult:
+    rtts_ms = _FIG3_RTTS_MS
+    tdfs = _FIG3_TDFS
     table = Table(
         ["RTT (ms)"] + [f"TDF {k} (Mbps)" for k in tdfs] + ["max rel err"],
         title="TCP goodput vs perceived RTT (perceived bottleneck 100 Mbps)",
@@ -141,11 +191,7 @@ def fig3_throughput_vs_rtt() -> FigureResult:
     figure = FigureResult("fig3", "Throughput vs RTT under dilation", table)
     curve: Dict[int, List[float]] = {k: [] for k in tdfs}
     for rtt in rtts_ms:
-        perceived = NetworkProfile.from_rtt(mbps(100), ms(rtt))
-        results = {
-            k: run_bulk(perceived, k, duration_s=6.0, warmup_s=2.0)
-            for k in tdfs
-        }
+        results = {k: cell_results[f"rtt{rtt}-tdf{k}"] for k in tdfs}
         base = results[1].goodput_bps
         worst = max(relative_error(results[k].goodput_bps, base) for k in tdfs)
         table.add_row(
@@ -179,10 +225,30 @@ def fig3_throughput_vs_rtt() -> FigureResult:
     return figure
 
 
-def fig4_throughput_vs_bandwidth() -> FigureResult:
-    """Figure 4: TCP throughput vs perceived bottleneck bandwidth."""
-    bandwidths_mbps = [1, 10, 50, 200]
-    tdfs = [1, 10, 100]
+def fig3_throughput_vs_rtt() -> FigureResult:
+    """Figure 3: TCP throughput vs RTT; dilated curves coincide with TDF 1."""
+    return _run_inline("fig3")
+
+
+# ================================================================= fig4
+
+_FIG4_BANDWIDTHS_MBPS = [1, 10, 50, 200]
+_FIG4_TDFS = [1, 10, 100]
+
+
+def _fig4_cells() -> List[CellSpec]:
+    return [
+        _cell("fig4", f"bw{bw}-tdf{k}", "run_bulk",
+              perceived=NetworkProfile.from_rtt(mbps(bw), ms(40)),
+              tdf=k, duration_s=5.0, warmup_s=2.0)
+        for bw in _FIG4_BANDWIDTHS_MBPS
+        for k in _FIG4_TDFS
+    ]
+
+
+def _fig4_assemble(cell_results: Mapping[str, Any]) -> FigureResult:
+    bandwidths_mbps = _FIG4_BANDWIDTHS_MBPS
+    tdfs = _FIG4_TDFS
     table = Table(
         ["perceived b/w (Mbps)"] + [f"TDF {k} (Mbps)" for k in tdfs]
         + ["max rel err"],
@@ -191,11 +257,7 @@ def fig4_throughput_vs_bandwidth() -> FigureResult:
     figure = FigureResult("fig4", "Throughput vs bandwidth under dilation", table)
     baseline_curve = []
     for bandwidth in bandwidths_mbps:
-        perceived = NetworkProfile.from_rtt(mbps(bandwidth), ms(40))
-        results = {
-            k: run_bulk(perceived, k, duration_s=5.0, warmup_s=2.0)
-            for k in tdfs
-        }
+        results = {k: cell_results[f"bw{bandwidth}-tdf{k}"] for k in tdfs}
         base = results[1].goodput_bps
         baseline_curve.append(base)
         worst = max(relative_error(results[k].goodput_bps, base) for k in tdfs)
@@ -230,15 +292,30 @@ def fig4_throughput_vs_bandwidth() -> FigureResult:
     return figure
 
 
-def fig5_interarrival_distribution() -> FigureResult:
-    """Figure 5: packet interarrival distribution preserved under dilation."""
+def fig4_throughput_vs_bandwidth() -> FigureResult:
+    """Figure 4: TCP throughput vs perceived bottleneck bandwidth."""
+    return _run_inline("fig4")
+
+
+# ================================================================= fig5
+
+_FIG5_TDFS = [1, 10, 100]
+
+
+def _fig5_cells() -> List[CellSpec]:
+    return [
+        _cell("fig5", f"tdf{k}", "run_bulk",
+              perceived=NetworkProfile.from_rtt(mbps(10), ms(40)),
+              tdf=k, duration_s=4.0, warmup_s=1.0,
+              collect_interarrivals=True)
+        for k in _FIG5_TDFS
+    ]
+
+
+def _fig5_assemble(cell_results: Mapping[str, Any]) -> FigureResult:
     perceived = NetworkProfile.from_rtt(mbps(10), ms(40))
-    tdfs = [1, 10, 100]
-    runs = {
-        k: run_bulk(perceived, k, duration_s=4.0, warmup_s=1.0,
-                    collect_interarrivals=True)
-        for k in tdfs
-    }
+    tdfs = _FIG5_TDFS
+    runs = {k: cell_results[f"tdf{k}"] for k in tdfs}
     table = Table(
         ["percentile"] + [f"TDF {k} (us)" for k in tdfs],
         title="Sink packet interarrival times, virtual microseconds",
@@ -270,21 +347,37 @@ def fig5_interarrival_distribution() -> FigureResult:
     return figure
 
 
+def fig5_interarrival_distribution() -> FigureResult:
+    """Figure 5: packet interarrival distribution preserved under dilation."""
+    return _run_inline("fig5")
+
+
+# ================================================================= fig6
+
+
 def _jain(values: List[float]) -> float:
     if not values:
         return 0.0
     return sum(values) ** 2 / (len(values) * sum(v * v for v in values))
 
 
-def fig6_multiflow_fairness() -> FigureResult:
-    """Figure 6: bottleneck sharing among competing flows is preserved."""
-    perceived = NetworkProfile.from_rtt(mbps(50), ms(20))
-    tdfs = [1, 10]
-    flows = 4
-    runs = {
-        k: run_bulk(perceived, k, duration_s=8.0, warmup_s=2.0, flows=flows)
-        for k in tdfs
-    }
+_FIG6_TDFS = [1, 10]
+_FIG6_FLOWS = 4
+
+
+def _fig6_cells() -> List[CellSpec]:
+    return [
+        _cell("fig6", f"tdf{k}", "run_bulk",
+              perceived=NetworkProfile.from_rtt(mbps(50), ms(20)),
+              tdf=k, duration_s=8.0, warmup_s=2.0, flows=_FIG6_FLOWS)
+        for k in _FIG6_TDFS
+    ]
+
+
+def _fig6_assemble(cell_results: Mapping[str, Any]) -> FigureResult:
+    tdfs = _FIG6_TDFS
+    flows = _FIG6_FLOWS
+    runs = {k: cell_results[f"tdf{k}"] for k in tdfs}
     table = Table(
         ["flow"] + [f"TDF {k} (Mbps)" for k in tdfs],
         title="Per-flow goodput, 4 flows through a 50 Mbps bottleneck",
@@ -321,38 +414,51 @@ def fig6_multiflow_fairness() -> FigureResult:
     return figure
 
 
+def fig6_multiflow_fairness() -> FigureResult:
+    """Figure 6: bottleneck sharing among competing flows is preserved."""
+    return _run_inline("fig6")
+
+
+# ============================================================ fig7 / fig8
+
 #: Offered loads swept by fig7/fig8. With a 1e8-cycle/s host, a 0.5 VMM
 #: share and ~2.1e6 cycles per request, the server's CPU service ceiling
 #: sits near 25 req/s — the sweep brackets that knee.
 _WEB_RATES = [5, 15, 25, 50, 100]
 _WEB_HOST_CPS = 1e8
+_WEB_TDFS = [1, 10]
 
 
-_WEB_SWEEP_CACHE: Dict[int, Dict[float, object]] = {}
+def _web_cells(figure_id: str) -> List[CellSpec]:
+    """The shared fig7/fig8 web sweep.
+
+    Both figures enumerate identical (runner, kwargs) cells, so the sweep
+    runner's content-addressed dedup executes each point exactly once per
+    ``all`` — the cell-model generalisation of the old in-module memo.
+    """
+    return [
+        _cell(figure_id, f"tdf{tdf}-rate{rate}", "run_web",
+              perceived=NetworkProfile.from_rtt(mbps(100), ms(20)),
+              tdf=tdf, rate_rps=rate, duration_s=10.0, seed=1234,
+              host_cycles_per_second=_WEB_HOST_CPS)
+        for tdf in _WEB_TDFS
+        for rate in _WEB_RATES
+    ]
 
 
-def _web_sweep() -> Dict[int, Dict[float, object]]:
-    """Shared sweep for fig7/fig8 (memoised — the runs are deterministic)."""
-    if _WEB_SWEEP_CACHE:
-        return _WEB_SWEEP_CACHE
-    results: Dict[int, Dict[float, object]] = _WEB_SWEEP_CACHE
-    for tdf in (1, 10):
-        results[tdf] = {}
-        for rate in _WEB_RATES:
-            results[tdf][rate] = run_web(
-                NetworkProfile.from_rtt(mbps(100), ms(20)),
-                tdf,
-                rate_rps=rate,
-                duration_s=10.0,
-                seed=1234,
-                host_cycles_per_second=_WEB_HOST_CPS,
-            )
-    return results
+def _web_sweep(cell_results: Mapping[str, Any]) -> Dict[int, Dict[float, Any]]:
+    return {
+        tdf: {rate: cell_results[f"tdf{tdf}-rate{rate}"] for rate in _WEB_RATES}
+        for tdf in _WEB_TDFS
+    }
 
 
-def fig7_web_throughput() -> FigureResult:
-    """Figure 7: web server throughput vs offered load, TDF 1 vs 10."""
-    sweep = _web_sweep()
+def _fig7_cells() -> List[CellSpec]:
+    return _web_cells("fig7")
+
+
+def _fig7_assemble(cell_results: Mapping[str, Any]) -> FigureResult:
+    sweep = _web_sweep(cell_results)
     table = Table(
         ["offered (req/s)", "TDF 1 (req/s)", "TDF 10 (req/s)", "rel err"],
         title="Web server completion rate vs offered load "
@@ -389,9 +495,17 @@ def fig7_web_throughput() -> FigureResult:
     return figure
 
 
-def fig8_web_response_time() -> FigureResult:
-    """Figure 8: response time vs offered load, TDF 1 vs 10."""
-    sweep = _web_sweep()
+def fig7_web_throughput() -> FigureResult:
+    """Figure 7: web server throughput vs offered load, TDF 1 vs 10."""
+    return _run_inline("fig7")
+
+
+def _fig8_cells() -> List[CellSpec]:
+    return _web_cells("fig8")
+
+
+def _fig8_assemble(cell_results: Mapping[str, Any]) -> FigureResult:
+    sweep = _web_sweep(cell_results)
     table = Table(
         ["offered (req/s)", "TDF 1 mean (ms)", "TDF 10 mean (ms)",
          "TDF 1 p95 (ms)", "TDF 10 p95 (ms)"],
@@ -438,16 +552,26 @@ def fig8_web_response_time() -> FigureResult:
     return figure
 
 
-def fig9_bittorrent_cdf() -> FigureResult:
-    """Figure 9: BitTorrent download-time CDF, TDF 1 vs 10."""
-    kwargs = dict(
-        perceived_leaf=NetworkProfile.from_rtt(mbps(10), ms(20)),
-        leechers=12,
-        file_bytes=2 << 20,
-        seed=777,
-    )
-    base = run_bittorrent(tdf=1, **kwargs)
-    dilated = run_bittorrent(tdf=10, **kwargs)
+def fig8_web_response_time() -> FigureResult:
+    """Figure 8: response time vs offered load, TDF 1 vs 10."""
+    return _run_inline("fig8")
+
+
+# ================================================================= fig9
+
+
+def _fig9_cells() -> List[CellSpec]:
+    return [
+        _cell("fig9", f"tdf{tdf}", "run_bittorrent",
+              perceived_leaf=NetworkProfile.from_rtt(mbps(10), ms(20)),
+              tdf=tdf, leechers=12, file_bytes=2 << 20, seed=777)
+        for tdf in (1, 10)
+    ]
+
+
+def _fig9_assemble(cell_results: Mapping[str, Any]) -> FigureResult:
+    base = cell_results["tdf1"]
+    dilated = cell_results["tdf10"]
     table = Table(
         ["percentile", "TDF 1 (s)", "TDF 10 (s)"],
         title="Download completion time across 12 leechers (2 MiB file)",
@@ -505,14 +629,32 @@ def fig9_bittorrent_cdf() -> FigureResult:
     return figure
 
 
-def fig10_beyond_gigabit() -> FigureResult:
-    """Figure 10: emulating multi-gigabit paths on sub-gigabit 'hardware'.
+def fig9_bittorrent_cdf() -> FigureResult:
+    """Figure 9: BitTorrent download-time CDF, TDF 1 vs 10."""
+    return _run_inline("fig9")
 
-    The headline trick: at TDF 10 the physical substrate never carries
-    more than one tenth of the perceived rate, yet the guests observe (and
-    TCP fills) a 10 Gbps path — hardware that, in 2006, did not exist.
-    """
-    tdf = 10
+
+# ================================================================ fig10
+
+_FIG10_TARGETS_GBPS = (2.5, 5.0, 10.0)
+_FIG10_TDF = 10
+
+
+def _fig10_cells() -> List[CellSpec]:
+    cells = []
+    for target_gbps in _FIG10_TARGETS_GBPS:
+        perceived = NetworkProfile.from_rtt(gbps(target_gbps), ms(4))
+        for tdf in (1, _FIG10_TDF):
+            cells.append(
+                _cell("fig10", f"gbps{target_gbps}-tdf{tdf}", "run_bulk",
+                      perceived=perceived, tdf=tdf, duration_s=2.5,
+                      warmup_s=1.0, mss=8960)
+            )
+    return cells
+
+
+def _fig10_assemble(cell_results: Mapping[str, Any]) -> FigureResult:
+    tdf = _FIG10_TDF
     table = Table(
         ["perceived b/w", "physical b/w", "TDF 1 (Gbps)", "TDF 10 (Gbps)",
          "rel err"],
@@ -521,11 +663,10 @@ def fig10_beyond_gigabit() -> FigureResult:
     )
     figure = FigureResult("fig10", "Beyond line rate with dilation", table)
     goodputs = []
-    for target_gbps in (2.5, 5.0, 10.0):
+    for target_gbps in _FIG10_TARGETS_GBPS:
         perceived = NetworkProfile.from_rtt(gbps(target_gbps), ms(4))
-        base = run_bulk(perceived, 1, duration_s=2.5, warmup_s=1.0, mss=8960)
-        dilated = run_bulk(perceived, tdf, duration_s=2.5, warmup_s=1.0,
-                           mss=8960)
+        base = cell_results[f"gbps{target_gbps}-tdf1"]
+        dilated = cell_results[f"gbps{target_gbps}-tdf{tdf}"]
         err = relative_error(dilated.goodput_bps, base.goodput_bps)
         goodputs.append(dilated.goodput_bps)
         table.add_row(
@@ -550,21 +691,37 @@ def fig10_beyond_gigabit() -> FigureResult:
     return figure
 
 
-def ablation_misscaled() -> FigureResult:
-    """Ablation A1: dilation without rescaling the physical network is wrong.
+def fig10_beyond_gigabit() -> FigureResult:
+    """Figure 10: emulating multi-gigabit paths on sub-gigabit 'hardware'.
 
-    Negative control for every equivalence check above: run TDF 10 guests
-    over the *unscaled* target network. Guests then perceive a 10x-faster,
-    10x-shorter path than the target, and results diverge from baseline.
+    The headline trick: at TDF 10 the physical substrate never carries
+    more than one tenth of the perceived rate, yet the guests observe (and
+    TCP fills) a 10 Gbps path — hardware that, in 2006, did not exist.
     """
+    return _run_inline("fig10")
+
+
+# ============================================================ ablation1
+
+
+def _ablation1_cells() -> List[CellSpec]:
     perceived = NetworkProfile.from_rtt(mbps(20), ms(40))
-    base = run_bulk(perceived, 1, duration_s=3.0, warmup_s=1.0)
     # Wrong setup: dilate guests but hand them the target-valued physical
     # network (equivalent to forgetting the bandwidth/delay rescale step).
     wrong_perceived = NetworkProfile.from_rtt(
         perceived.bandwidth_bps * 10, perceived.rtt_s / 10
     )
-    wrong = run_bulk(wrong_perceived, 10, duration_s=3.0, warmup_s=1.0)
+    return [
+        _cell("ablation1", "base", "run_bulk",
+              perceived=perceived, tdf=1, duration_s=3.0, warmup_s=1.0),
+        _cell("ablation1", "wrong", "run_bulk",
+              perceived=wrong_perceived, tdf=10, duration_s=3.0, warmup_s=1.0),
+    ]
+
+
+def _ablation1_assemble(cell_results: Mapping[str, Any]) -> FigureResult:
+    base = cell_results["base"]
+    wrong = cell_results["wrong"]
     table = Table(
         ["configuration", "goodput (Mbps)", "srtt (ms)"],
         title="Forgetting to rescale the physical network breaks emulation",
@@ -586,35 +743,30 @@ def ablation_misscaled() -> FigureResult:
     return figure
 
 
-def ablation_dynamic_tdf() -> FigureResult:
-    """Ablation A2: changing the TDF at runtime re-scales perception live."""
-    from ..core.vmm import Hypervisor
-    from ..simnet.queues import DropTailQueue
-    from ..simnet.topology import Network
-    from ..tcp.stack import TcpStack
-    from ..apps.iperf import IperfClient, IperfServer
+def ablation_misscaled() -> FigureResult:
+    """Ablation A1: dilation without rescaling the physical network is wrong.
 
-    net = Network()
-    a = net.add_node("a")
-    b = net.add_node("b")
-    net.add_link(a, b, mbps(10), ms(10),
-                 queue_factory=lambda: DropTailQueue(capacity_packets=100))
-    net.finalize()
-    vmm = Hypervisor(net.sim)
-    vm_a = vmm.create_vm("vma", tdf=10, cpu_share=0.5, node=a)
-    vm_b = vmm.create_vm("vmb", tdf=10, cpu_share=0.5, node=b)
-    server = IperfServer(TcpStack(b))
-    IperfClient(TcpStack(a), "b").start()
-    # Phase 1: TDF 10 -> guests perceive ~100 Mbps.
-    net.run(until=vm_b.clock.to_physical(3.0))
-    phase1_bytes = server.total_bytes
-    vmm.set_tdf("vma", 5)
-    vmm.set_tdf("vmb", 5)
-    # Phase 2: TDF 5 -> the same wire now looks like ~50 Mbps.
-    net.run(until=vm_b.clock.to_physical(6.0))
-    phase2_bytes = server.total_bytes - phase1_bytes
-    rate1 = phase1_bytes * 8 / 3.0
-    rate2 = phase2_bytes * 8 / 3.0
+    Negative control for every equivalence check above: run TDF 10 guests
+    over the *unscaled* target network. Guests then perceive a 10x-faster,
+    10x-shorter path than the target, and results diverge from baseline.
+    """
+    return _run_inline("ablation1")
+
+
+# ============================================================ ablation2
+
+
+def _ablation2_cells() -> List[CellSpec]:
+    return [
+        _cell("ablation2", "schedule", "run_dynamic_tdf",
+              physical_bandwidth_bps=mbps(10), physical_delay_s=ms(10),
+              tdf_schedule=[10, 5], phase_s=3.0, queue_packets=100)
+    ]
+
+
+def _ablation2_assemble(cell_results: Mapping[str, Any]) -> FigureResult:
+    run = cell_results["schedule"]
+    rate1, rate2 = run.phase_rates_bps
     table = Table(
         ["phase", "TDF", "perceived goodput (Mbps)"],
         title="One flow across a runtime TDF change (physical 10 Mbps)",
@@ -626,21 +778,31 @@ def ablation_dynamic_tdf() -> FigureResult:
     figure.check("phase 2 perceives ~50 Mbps", abs(rate2 - mbps(50)) / mbps(50) < 0.25)
     figure.check(
         "virtual clock stayed continuous and monotonic",
-        vm_b.clock.now() >= 6.0 - 1e-6,
+        run.final_virtual_s >= 6.0 - 1e-6,
     )
     return figure
 
 
-def ext1_cross_traffic() -> FigureResult:
-    """Extension E1: equivalence holds with competing cross traffic.
+def ablation_dynamic_tdf() -> FigureResult:
+    """Ablation A2: changing the TDF at runtime re-scales perception live."""
+    return _run_inline("ablation2")
 
-    The paper's validation used clean paths; real experiments share links.
-    A TCP flow competes with a CBR stream at 30% of the bottleneck; both
-    run inside dilated guests, and the dilated run must match baseline.
-    """
+
+# ================================================================= ext1
+
+
+def _ext1_cells() -> List[CellSpec]:
     perceived = NetworkProfile.from_rtt(mbps(20), ms(40))
-    base = run_bulk_with_cross_traffic(perceived, 1, duration_s=6.0)
-    dilated = run_bulk_with_cross_traffic(perceived, 10, duration_s=6.0)
+    return [
+        _cell("ext1", f"tdf{tdf}", "run_bulk_with_cross_traffic",
+              perceived=perceived, tdf=tdf, duration_s=6.0)
+        for tdf in (1, 10)
+    ]
+
+
+def _ext1_assemble(cell_results: Mapping[str, Any]) -> FigureResult:
+    base = cell_results["tdf1"]
+    dilated = cell_results["tdf10"]
     table = Table(
         ["metric", "TDF 1", "TDF 10", "rel err"],
         title="TCP + 30% CBR cross traffic on a 20 Mbps bottleneck",
@@ -667,16 +829,31 @@ def ext1_cross_traffic() -> FigureResult:
     return figure
 
 
-def ext2_consolidation() -> FigureResult:
-    """Extension E2: multiple dilated guests multiplexed on one machine.
+def ext1_cross_traffic() -> FigureResult:
+    """Extension E1: equivalence holds with competing cross traffic.
 
-    The paper ran several dilated VMs per physical host. Three guest
-    senders share one machine uplink; contention for the shared NIC must
-    be perceived identically under dilation.
+    The paper's validation used clean paths; real experiments share links.
+    A TCP flow competes with a CBR stream at 30% of the bottleneck; both
+    run inside dilated guests, and the dilated run must match baseline.
     """
+    return _run_inline("ext1")
+
+
+# ================================================================= ext2
+
+
+def _ext2_cells() -> List[CellSpec]:
     perceived = NetworkProfile.from_rtt(mbps(30), ms(20))
-    base = run_consolidated(perceived, 1, guests=3, duration_s=6.0)
-    dilated = run_consolidated(perceived, 10, guests=3, duration_s=6.0)
+    return [
+        _cell("ext2", f"tdf{tdf}", "run_consolidated",
+              perceived_uplink=perceived, tdf=tdf, guests=3, duration_s=6.0)
+        for tdf in (1, 10)
+    ]
+
+
+def _ext2_assemble(cell_results: Mapping[str, Any]) -> FigureResult:
+    base = cell_results["tdf1"]
+    dilated = cell_results["tdf10"]
     table = Table(
         ["guest", "TDF 1 (Mbps)", "TDF 10 (Mbps)"],
         title="3 guests on one machine, shared 30 Mbps uplink",
@@ -713,19 +890,35 @@ def ext2_consolidation() -> FigureResult:
     return figure
 
 
-def ext3_guest_program() -> FigureResult:
-    """Extension E3: a mixed-resource guest program, phase by phase.
+def ext2_consolidation() -> FigureResult:
+    """Extension E2: multiple dilated guests multiplexed on one machine.
 
-    A "build job" (disk read → compile → disk write → TCP upload) inside a
-    guest, timed with the guest's own clock. With CPU and disk compensated
-    (1/TDF share/throttle) every phase matches the baseline; without
-    compensation CPU and disk appear TDF-times faster while the network
-    phase — the thing being emulated — stays on target.
+    The paper ran several dilated VMs per physical host. Three guest
+    senders share one machine uplink; contention for the shared NIC must
+    be perceived identically under dilation.
     """
+    return _run_inline("ext2")
+
+
+# ================================================================= ext3
+
+
+def _ext3_cells() -> List[CellSpec]:
     target = NetworkProfile.from_rtt(mbps(50), ms(20))
-    base = run_guest_build_job(target, 1)
-    compensated = run_guest_build_job(target, 10, compensate=True)
-    uncompensated = run_guest_build_job(target, 10, compensate=False)
+    return [
+        _cell("ext3", "base", "run_guest_build_job",
+              perceived_net=target, tdf=1),
+        _cell("ext3", "compensated", "run_guest_build_job",
+              perceived_net=target, tdf=10, compensate=True),
+        _cell("ext3", "uncompensated", "run_guest_build_job",
+              perceived_net=target, tdf=10, compensate=False),
+    ]
+
+
+def _ext3_assemble(cell_results: Mapping[str, Any]) -> FigureResult:
+    base = cell_results["base"]
+    compensated = cell_results["compensated"]
+    uncompensated = cell_results["uncompensated"]
     table = Table(
         ["phase", "TDF 1 (s)", "TDF 10 comp. (s)", "TDF 10 full (s)"],
         title="Guest build job: 20 MiB read, 2e9 cycles, 5 MiB write, "
@@ -771,26 +964,49 @@ def ext3_guest_program() -> FigureResult:
     return figure
 
 
-def ext4_lossy_equivalence(impair: Optional[str] = None) -> FigureResult:
-    """Extension E4: dilation equivalence over a lossy physical path.
+def ext3_guest_program() -> FigureResult:
+    """Extension E3: a mixed-resource guest program, phase by phase.
 
-    The paper's validation matters most where the network misbehaves. A
-    TDF-k guest over an impaired bottleneck must reproduce the scaled
-    baseline's goodput and retransmit counts: per-packet impairment
-    decisions are seed-deterministic and time-free, so the dilated run
-    faces the identical loss pattern. Default matrix: Bernoulli p=1% and
-    an equivalent-rate Gilbert–Elliott burst model, TDF ∈ {5, 10}; pass an
-    ``--impair`` spec to run a single custom impairment instead.
+    A "build job" (disk read → compile → disk write → TCP upload) inside a
+    guest, timed with the guest's own clock. With CPU and disk compensated
+    (1/TDF share/throttle) every phase matches the baseline; without
+    compensation CPU and disk appear TDF-times faster while the network
+    phase — the thing being emulated — stays on target.
     """
-    perceived = NetworkProfile.from_rtt(mbps(20), ms(40))
+    return _run_inline("ext3")
+
+
+# ================================================================= ext4
+
+_EXT4_TDFS = [5, 10]
+
+
+def _ext4_specs(impair: Optional[str]) -> List[ImpairmentSpec]:
     if impair is not None:
-        specs = [ImpairmentSpec.parse(impair)]
-    else:
-        specs = [
-            ImpairmentSpec(kind="bernoulli", rate=0.01, seed=42),
-            ImpairmentSpec(kind="gilbert", rate=0.01, burst=4.0, seed=42),
-        ]
-    tdfs = [5, 10]
+        return [ImpairmentSpec.parse(impair)]
+    return [
+        ImpairmentSpec(kind="bernoulli", rate=0.01, seed=42),
+        ImpairmentSpec(kind="gilbert", rate=0.01, burst=4.0, seed=42),
+    ]
+
+
+def _ext4_cells(impair: Optional[str] = None) -> List[CellSpec]:
+    perceived = NetworkProfile.from_rtt(mbps(20), ms(40))
+    cells = []
+    for spec in _ext4_specs(impair):
+        for tdf in [1] + _EXT4_TDFS:
+            cells.append(
+                _cell("ext4", f"{spec.kind}-tdf{tdf}", "run_bulk",
+                      perceived=perceived, tdf=tdf, duration_s=3.0,
+                      warmup_s=1.0, impair=spec)
+            )
+    return cells
+
+
+def _ext4_assemble(cell_results: Mapping[str, Any],
+                   impair: Optional[str] = None) -> FigureResult:
+    specs = _ext4_specs(impair)
+    tdfs = _EXT4_TDFS
     table = Table(
         ["model", "TDF", "goodput (Mbps)", "base (Mbps)", "retx", "base retx",
          "drops", "rel err"],
@@ -798,8 +1014,7 @@ def ext4_lossy_equivalence(impair: Optional[str] = None) -> FigureResult:
     )
     figure = FigureResult("ext4", "Equivalence under impairment", table)
     for spec in specs:
-        base = run_bulk(perceived, 1, duration_s=3.0, warmup_s=1.0,
-                        impair=spec)
+        base = cell_results[f"{spec.kind}-tdf1"]
         base_drops = sum(base.bottleneck_drops.values())
         # Non-dropping stages (reorder, duplicate) leave their mark as
         # retransmits or dupacks rather than bottleneck drops; corruption
@@ -813,8 +1028,7 @@ def ext4_lossy_equivalence(impair: Optional[str] = None) -> FigureResult:
             bite > 0,
         )
         for tdf in tdfs:
-            dilated = run_bulk(perceived, tdf, duration_s=3.0, warmup_s=1.0,
-                               impair=spec)
+            dilated = cell_results[f"{spec.kind}-tdf{tdf}"]
             goodput_err = relative_error(dilated.goodput_bps, base.goodput_bps)
             retx_err = relative_error(dilated.retransmits, base.retransmits)
             table.add_row(
@@ -844,6 +1058,23 @@ def ext4_lossy_equivalence(impair: Optional[str] = None) -> FigureResult:
     return figure
 
 
+def ext4_lossy_equivalence(impair: Optional[str] = None) -> FigureResult:
+    """Extension E4: dilation equivalence over a lossy physical path.
+
+    The paper's validation matters most where the network misbehaves. A
+    TDF-k guest over an impaired bottleneck must reproduce the scaled
+    baseline's goodput and retransmit counts: per-packet impairment
+    decisions are seed-deterministic and time-free, so the dilated run
+    faces the identical loss pattern. Default matrix: Bernoulli p=1% and
+    an equivalent-rate Gilbert–Elliott burst model, TDF ∈ {5, 10}; pass an
+    ``--impair`` spec to run a single custom impairment instead.
+    """
+    return _run_inline("ext4", impair=impair)
+
+
+# ============================================================== registry
+
+
 FIGURES: Dict[str, Callable[[], FigureResult]] = {
     "table1": table1_resource_scaling,
     "table2": table2_cpu_dilation,
@@ -863,6 +1094,37 @@ FIGURES: Dict[str, Callable[[], FigureResult]] = {
     "ext4": ext4_lossy_equivalence,
 }
 
+#: The two-phase (cells, assemble) form of every figure — what the
+#: parallel sweep runner consumes. Keys match :data:`FIGURES`.
+CELL_MODEL: Dict[str, FigureCells] = {
+    "table1": FigureCells(_table1_cells, _table1_assemble),
+    "table2": FigureCells(_table2_cells, _table2_assemble),
+    "fig3": FigureCells(_fig3_cells, _fig3_assemble),
+    "fig4": FigureCells(_fig4_cells, _fig4_assemble),
+    "fig5": FigureCells(_fig5_cells, _fig5_assemble),
+    "fig6": FigureCells(_fig6_cells, _fig6_assemble),
+    "fig7": FigureCells(_fig7_cells, _fig7_assemble),
+    "fig8": FigureCells(_fig8_cells, _fig8_assemble),
+    "fig9": FigureCells(_fig9_cells, _fig9_assemble),
+    "fig10": FigureCells(_fig10_cells, _fig10_assemble),
+    "ablation1": FigureCells(_ablation1_cells, _ablation1_assemble),
+    "ablation2": FigureCells(_ablation2_cells, _ablation2_assemble),
+    "ext1": FigureCells(_ext1_cells, _ext1_assemble),
+    "ext2": FigureCells(_ext2_cells, _ext2_assemble),
+    "ext3": FigureCells(_ext3_cells, _ext3_assemble),
+    "ext4": FigureCells(_ext4_cells, _ext4_assemble, has_impair_axis=True),
+}
+
+
+def _run_inline(figure_id: str, impair: Optional[str] = None) -> FigureResult:
+    """Execute one figure's cells in-process (today's path) and assemble."""
+    model = CELL_MODEL[figure_id]
+    cells = model.cells(impair)
+    results = execute_cells_inline(cells)
+    return model.build(
+        {spec.key: results[spec.token()] for spec in cells}, impair
+    )
+
 
 def figure_ids() -> List[str]:
     """All known experiment ids, in paper order."""
@@ -874,35 +1136,39 @@ def run_figure(
     profile_engine: bool = False,
     impair: Optional[str] = None,
 ) -> FigureResult:
-    """Run one experiment by id.
+    """Run one experiment by id, sequentially in this process.
 
     With ``profile_engine=True`` every simulator the experiment constructs
     is profiled (events/sec, heap hygiene, per-component histogram) and the
     rendered profile is attached as ``result.engine_profile``. Profiling
-    never perturbs results — figures are bit-identical either way.
+    never perturbs results — figures are bit-identical either way. Note
+    the in-process memo: cells already executed in this process (by an
+    earlier figure or sweep) are not re-simulated, so a profile covers
+    only the cells this call actually ran.
 
     ``impair`` is an :meth:`ImpairmentSpec.parse` string forwarded to
     experiments that take an impairment axis (currently ``ext4``); passing
     it to any other experiment is an error rather than a silent no-op.
+
+    For multi-figure parallel execution, caching, and per-cell timings use
+    :func:`repro.harness.runner.run_sweep` (the ``repro-figure --jobs``
+    path), which produces byte-identical figures.
     """
     try:
-        fn = FIGURES[figure_id]
+        model = CELL_MODEL[figure_id]
     except KeyError:
         raise KeyError(
             f"unknown figure {figure_id!r}; known: {', '.join(FIGURES)}"
         ) from None
-    kwargs = {}
-    if impair is not None:
-        if "impair" not in inspect.signature(fn).parameters:
-            raise ValueError(
-                f"experiment {figure_id!r} has no --impair axis"
-            )
-        kwargs["impair"] = impair
+    if impair is not None and not model.has_impair_axis:
+        raise ValueError(
+            f"experiment {figure_id!r} has no --impair axis"
+        )
     if not profile_engine:
-        return fn(**kwargs)
+        return _run_inline(figure_id, impair=impair)
     from ..stats.engineprof import profiled
 
     with profiled() as profiler:
-        result = fn(**kwargs)
+        result = _run_inline(figure_id, impair=impair)
     result.engine_profile = profiler.render()
     return result

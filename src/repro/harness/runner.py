@@ -1,0 +1,486 @@
+"""Parallel sweep execution with a deterministic, bit-exact merge.
+
+The full evaluation is a sweep over **cells**: one cell is a (figure,
+runner, parameters) tuple — a single deterministic simulation such as "the
+fig3 bulk-TCP point at RTT 40 ms, TDF 10". Cells are independent by
+construction (each runner builds its own ``Network``/``Simulator``, seeds
+its own RNGs, and returns a picklable result dataclass), so they can
+execute in any order, in any process, and produce bit-identical results.
+This module exploits that:
+
+* :class:`CellSpec` — a picklable description of one cell, enumerated per
+  figure by :mod:`repro.harness.figures`;
+* :func:`run_sweep` — fans unique cells out over a
+  ``ProcessPoolExecutor`` (``--jobs N``; ``--jobs 1`` preserves the
+  in-process sequential path) and then **merges in spec order**: figures
+  are assembled from the result mapping exactly as a sequential run would
+  build them, so reports, acceptance checks, and CSV exports are
+  byte-identical whatever the parallelism;
+* :class:`ResultCache` — a content-addressed on-disk cache
+  (``.repro-cache/``), keyed by a hash of the cell spec plus the package
+  version, so re-running ``all`` after an interrupt — or after editing
+  one figure's parameters — re-executes only the stale cells;
+* :class:`CellTiming` — per-cell wall-clock / peak-RSS / engine-event
+  accounting behind ``repro-figure --timings``.
+
+Determinism argument, in one paragraph: a cell's result depends only on
+its spec (the runner's keyword arguments), never on wall-clock time,
+scheduling, or sibling cells — the simulators inside are seeded and
+event-driven, and the golden tests pin their outputs across processes.
+Dedup/caching are keyed on a canonical serialisation of that spec, so two
+equal specs (e.g. fig7's and fig8's shared web sweep) are *the same cell*
+and may share one execution. Parallelism therefore changes wall-clock
+only; ``tests/harness/test_runner.py`` pins ``--jobs N`` == ``--jobs 1``
+bit-exact on representative figures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import sys
+import tempfile
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from .report import FigureResult, Table
+
+__all__ = [
+    "CellSpec",
+    "CellTiming",
+    "FigureCells",
+    "ResultCache",
+    "SweepOutcome",
+    "canonical",
+    "execute_cell",
+    "execute_cells_inline",
+    "run_sweep",
+    "DEFAULT_CACHE_DIR",
+]
+
+#: Bump to invalidate every cached result (cache format / semantics change).
+CACHE_SCHEMA = 1
+
+#: Default on-disk cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def _package_version() -> str:
+    """The repro package version (lazy: the package may still be importing
+    this module when it is first loaded)."""
+    import repro
+
+    return getattr(repro, "__version__", "0")
+
+
+# ------------------------------------------------------------------ cell specs
+
+
+@dataclass
+class CellSpec:
+    """One independently-executable unit of a figure sweep.
+
+    ``figure_id``/``key`` address the result during merge; ``runner`` names
+    an entry point in :data:`repro.harness.experiments.RUNNERS` and
+    ``kwargs`` are its keyword arguments. Everything must be picklable
+    (plain values or frozen dataclasses like ``NetworkProfile`` /
+    ``ImpairmentSpec``) so a cell can cross a process boundary and be
+    canonically hashed for the cache.
+    """
+
+    figure_id: str
+    key: str
+    runner: str
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def token(self) -> str:
+        """Content hash identifying this cell's *work* (not its address).
+
+        The figure id and key are deliberately excluded: two figures that
+        enumerate an identical (runner, kwargs) pair — fig7 and fig8 share
+        their web sweep — map to the same token and share one execution
+        and one cache entry. The package version is mixed in so a release
+        that changes simulation behaviour never reuses stale results.
+        """
+        payload = "|".join(
+            (str(CACHE_SCHEMA), _package_version(), self.runner,
+             canonical(self.kwargs))
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def canonical(value: Any) -> str:
+    """A deterministic, content-complete serialisation for hashing.
+
+    Supports the value types cell kwargs are built from: primitives,
+    lists/tuples, string-keyed dicts (sorted), and dataclasses (fields in
+    declaration order, recursing). Anything else is rejected loudly — an
+    unhashable kwarg must not silently poison the cache key.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return repr(value)
+    if isinstance(value, float):
+        return repr(value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        inner = ",".join(
+            f"{f.name}={canonical(getattr(value, f.name))}"
+            for f in dataclasses.fields(value)
+        )
+        return f"{type(value).__qualname__}({inner})"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(canonical(item) for item in value) + "]"
+    if isinstance(value, dict):
+        items = sorted(value.items())
+        return "{" + ",".join(f"{k!r}:{canonical(v)}" for k, v in items) + "}"
+    raise TypeError(
+        f"cell kwargs must be canonically hashable; got {type(value).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class FigureCells:
+    """A figure's two-phase form: enumerate cells, then assemble results.
+
+    ``enumerate()`` returns the figure's :class:`CellSpec` list (taking the
+    ``--impair`` string when the figure has that axis); ``assemble()``
+    receives ``{cell key: runner result}`` and builds the
+    :class:`FigureResult` exactly as the sequential path always did.
+    Pure-computation figures (table1) enumerate zero cells.
+    """
+
+    enumerate: Callable[..., List[CellSpec]]
+    assemble: Callable[..., FigureResult]
+    has_impair_axis: bool = False
+
+    def cells(self, impair: Optional[str] = None) -> List[CellSpec]:
+        if self.has_impair_axis:
+            return self.enumerate(impair)
+        return self.enumerate()
+
+    def build(self, results: Mapping[str, Any],
+              impair: Optional[str] = None) -> FigureResult:
+        if self.has_impair_axis:
+            return self.assemble(results, impair)
+        return self.assemble(results)
+
+
+# ------------------------------------------------------------------ execution
+
+
+def execute_cell(spec: CellSpec,
+                 profile: bool = False) -> Tuple[Any, Optional[int]]:
+    """Run one cell in this process; returns (result, engine events).
+
+    With ``profile=True`` the cell runs under its own
+    :class:`~repro.stats.engineprof.EngineProfiler` and the executed-event
+    count is returned (profiling never perturbs results). Do not profile
+    from inside an outer :func:`~repro.stats.engineprof.profiled` block —
+    the engine has a single default-profiler slot.
+    """
+    from .experiments import RUNNERS
+
+    try:
+        fn = RUNNERS[spec.runner]
+    except KeyError:
+        raise KeyError(
+            f"unknown cell runner {spec.runner!r}; known: {', '.join(RUNNERS)}"
+        ) from None
+    if not profile:
+        return fn(**spec.kwargs), None
+    from ..stats.engineprof import profiled
+
+    with profiled() as profiler:
+        value = fn(**spec.kwargs)
+    return value, profiler.events
+
+
+#: Process-local memo for the legacy in-process path (``run_figure``):
+#: token -> result. Generalises the old fig7/fig8 web-sweep memo to every
+#: cell — ``repro-figure all`` and a benchmark session never run the same
+#: deterministic simulation twice in one process.
+_MEMO: Dict[str, Any] = {}
+
+
+def execute_cells_inline(specs: List[CellSpec],
+                         memo: bool = True) -> Dict[str, Any]:
+    """Run cells sequentially in-process; returns ``{token: result}``.
+
+    This is "today's path": no pool, no pickling, spec order. With
+    ``memo=True`` results are remembered for the life of the process
+    (sound because cells are deterministic functions of their token).
+    """
+    out: Dict[str, Any] = {}
+    for spec in specs:
+        token = spec.token()
+        if token in out:
+            continue
+        if memo and token in _MEMO:
+            out[token] = _MEMO[token]
+            continue
+        value, _ = execute_cell(spec)
+        if memo:
+            _MEMO[token] = value
+        out[token] = value
+    return out
+
+
+def _peak_rss_kib() -> int:
+    """This process' peak resident set size, in KiB (0 if unavailable)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - reported in bytes
+        peak //= 1024
+    return int(peak)
+
+
+def _pool_task(spec: CellSpec, profile: bool) -> Tuple[str, Any, float, int,
+                                                       Optional[int]]:
+    """Worker-side cell execution (top-level for picklability)."""
+    started = time.perf_counter()
+    value, events = execute_cell(spec, profile=profile)
+    wall = time.perf_counter() - started
+    return spec.token(), value, wall, _peak_rss_kib(), events
+
+
+# --------------------------------------------------------------------- cache
+
+
+class ResultCache:
+    """Content-addressed pickle cache for cell results.
+
+    One file per token under ``directory``; writes are atomic
+    (tmp + rename) so an interrupted sweep never leaves a truncated entry
+    — a corrupt or unreadable file is simply a miss. The token already
+    encodes the cache schema and package version; nothing else is trusted.
+    """
+
+    def __init__(self, directory: str = DEFAULT_CACHE_DIR) -> None:
+        self.directory = str(directory)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, token: str) -> str:
+        return os.path.join(self.directory, token + ".pkl")
+
+    def load(self, token: str) -> Tuple[bool, Any]:
+        """(hit?, value). Never raises on a bad entry — it's a miss."""
+        try:
+            with open(self._path(token), "rb") as handle:
+                value = pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def store(self, token: str, value: Any) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path(token))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+# --------------------------------------------------------------------- sweep
+
+
+@dataclass
+class CellTiming:
+    """Per-cell accounting surfaced by ``repro-figure --timings``."""
+
+    figure_id: str
+    key: str
+    token: str
+    cached: bool
+    wall_s: float = 0.0
+    #: Peak RSS of the executing process *at cell completion*, KiB. With a
+    #: long-lived pool worker this is a high-water mark, not a per-cell
+    #: allocation — it answers "how big did the worker get", which is the
+    #: capacity-planning question.
+    peak_rss_kib: int = 0
+    #: Engine events the cell executed (None when not profiled).
+    events: Optional[int] = None
+
+
+@dataclass
+class SweepOutcome:
+    """Everything ``run_sweep`` produced, already merged in spec order."""
+
+    figures: List[FigureResult]
+    timings: List[CellTiming]
+    cells_total: int
+    cells_cached: int
+    cells_executed: int
+    jobs: int
+    wall_s: float
+
+    @property
+    def all_passed(self) -> bool:
+        return all(figure.all_passed for figure in self.figures)
+
+    def cache_summary(self) -> str:
+        """One stable line for logs and the CI cache-hit smoke check."""
+        if self.cells_total == 0:
+            return "cells: 0 unique"
+        share = 100.0 * self.cells_cached / self.cells_total
+        return (
+            f"cells: {self.cells_total} unique, {self.cells_cached} cached "
+            f"({share:.1f}%), {self.cells_executed} executed"
+        )
+
+    def timings_table(self) -> str:
+        """The per-cell timing table (spec order), rendered."""
+        table = Table(
+            ["figure", "cell", "wall (s)", "peak RSS (MiB)", "events",
+             "source"],
+            title=f"Per-cell timings ({self.jobs} job(s), "
+                  f"{self.wall_s:.1f} s sweep wall)",
+        )
+        for timing in self.timings:
+            table.add_row(
+                timing.figure_id,
+                timing.key,
+                f"{timing.wall_s:.2f}" if not timing.cached else "-",
+                f"{timing.peak_rss_kib / 1024:.1f}" if timing.peak_rss_kib
+                else "-",
+                f"{timing.events:,}" if timing.events is not None else "-",
+                "cache" if timing.cached else "run",
+            )
+        executed = [t for t in self.timings if not t.cached]
+        events = sum(t.events or 0 for t in executed)
+        lines = [table.render()]
+        if executed:
+            busy = sum(t.wall_s for t in executed)
+            lines.append(
+                f"  executed {len(executed)} cell(s): {busy:.1f} s of "
+                f"simulation across {self.jobs} job(s), "
+                f"{events:,} engine events"
+            )
+        return "\n".join(lines)
+
+
+def _resolve_jobs(jobs: Optional[int]) -> int:
+    if jobs is None:
+        return os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"--jobs must be >= 1: {jobs}")
+    return jobs
+
+
+def run_sweep(
+    figure_ids: List[str],
+    jobs: Optional[int] = None,
+    impair: Optional[str] = None,
+    cache_dir: Optional[str] = DEFAULT_CACHE_DIR,
+    collect_timings: bool = False,
+) -> SweepOutcome:
+    """Execute figures as a deduplicated cell sweep and merge in spec order.
+
+    ``jobs=None`` uses ``os.cpu_count()``; ``jobs=1`` runs every cell
+    sequentially in this process (no pool, no pickling). ``cache_dir=None``
+    disables the on-disk cache. The returned figures are in ``figure_ids``
+    order and byte-identical to a sequential run.
+    """
+    from .figures import CELL_MODEL
+
+    started = time.perf_counter()
+    jobs = _resolve_jobs(jobs)
+    per_figure: Dict[str, List[CellSpec]] = {}
+    unique: Dict[str, CellSpec] = {}
+    for figure_id in figure_ids:
+        try:
+            model = CELL_MODEL[figure_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown figure {figure_id!r}; known: "
+                + ", ".join(CELL_MODEL)
+            ) from None
+        if impair is not None and not model.has_impair_axis:
+            raise ValueError(f"experiment {figure_id!r} has no --impair axis")
+        cells = model.cells(impair)
+        per_figure[figure_id] = cells
+        for spec in cells:
+            unique.setdefault(spec.token(), spec)
+
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    results: Dict[str, Any] = {}
+    timing_by_token: Dict[str, CellTiming] = {}
+    pending: List[CellSpec] = []
+    for token, spec in unique.items():
+        if cache is not None:
+            hit, value = cache.load(token)
+            if hit:
+                results[token] = value
+                timing_by_token[token] = CellTiming(
+                    spec.figure_id, spec.key, token, cached=True
+                )
+                continue
+        pending.append(spec)
+
+    if pending and jobs > 1:
+        # Submission in spec order; completion order is irrelevant because
+        # results are merged by token.
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {
+                pool.submit(_pool_task, spec, collect_timings): spec
+                for spec in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    spec = futures[future]
+                    token, value, wall, rss, events = future.result()
+                    results[token] = value
+                    timing_by_token[token] = CellTiming(
+                        spec.figure_id, spec.key, token, cached=False,
+                        wall_s=wall, peak_rss_kib=rss, events=events,
+                    )
+                    if cache is not None:
+                        cache.store(token, value)
+    else:
+        for spec in pending:
+            cell_started = time.perf_counter()
+            value, events = execute_cell(spec, profile=collect_timings)
+            results[spec.token()] = value
+            timing_by_token[spec.token()] = CellTiming(
+                spec.figure_id, spec.key, spec.token(), cached=False,
+                wall_s=time.perf_counter() - cell_started,
+                peak_rss_kib=_peak_rss_kib(), events=events,
+            )
+            if cache is not None:
+                cache.store(spec.token(), value)
+
+    figures = [
+        CELL_MODEL[figure_id].build(
+            {spec.key: results[spec.token()] for spec in per_figure[figure_id]},
+            impair,
+        )
+        for figure_id in figure_ids
+    ]
+    timings = [timing_by_token[token] for token in unique]
+    executed = sum(1 for t in timings if not t.cached)
+    return SweepOutcome(
+        figures=figures,
+        timings=timings,
+        cells_total=len(unique),
+        cells_cached=len(unique) - executed,
+        cells_executed=executed,
+        jobs=jobs,
+        wall_s=time.perf_counter() - started,
+    )

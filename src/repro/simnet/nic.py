@@ -89,8 +89,9 @@ class Interface:
         #: Unified drop taxonomy: reason -> count. Every egress drop on
         #: this interface lands here under exactly one reason — "down"
         #: (administratively down), "injected" (legacy ``loss_fn``),
-        #: "queue" (discipline rejected it), or an impairment-stage reason
-        #: ("loss", "reorder"…, "flap"). Mirrored into
+        #: "queue" (discipline rejected it), "shaper" (a wrapping
+        #: ShapedInterface's backlog overflowed), or an impairment-stage
+        #: reason ("loss", "reorder"…, "flap"). Mirrored into
         #: ``sim.counters["drop.<reason>"]`` for engine-wide summaries.
         self.drops: Dict[str, int] = {}
         #: Bytes successfully put on the wire (serialised), for utilisation.

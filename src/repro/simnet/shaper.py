@@ -128,7 +128,14 @@ class ShapedInterface:
             self.max_backlog_packets is not None
             and len(self._backlog) >= self.max_backlog_packets
         ):
+            # Keep the legacy attribute, but charge the drop to the wrapped
+            # interface's unified taxonomy too: a "shaper" reason lands in
+            # ``interface.drops``, mirrors into ``sim.counters["drop.shaper"]``
+            # and fires the interface's drop taps, so FlowMonitor's
+            # ``interface_drops``/``drops_by_reason`` see shaper overflows
+            # like any other egress drop.
             self.dropped_packets += 1
+            self.interface._drop(packet, "shaper")
             return
         self._backlog.append(packet)
         if not self._draining:

@@ -14,17 +14,21 @@ from typing import List, Sequence, Tuple
 __all__ = ["percentile", "Cdf", "ks_distance"]
 
 
-def percentile(samples: Sequence[float], q: float) -> float:
+def percentile(samples: Sequence[float], q: float,
+               is_sorted: bool = False) -> float:
     """The ``q``-th percentile (0..100) by linear interpolation.
 
     Matches numpy's default ("linear") method so results line up with any
-    offline analysis of the exported data.
+    offline analysis of the exported data. ``is_sorted=True`` promises the
+    samples are already in ascending order and skips the O(n log n)
+    re-sort — the fast path :class:`Cdf` uses for every quantile, since it
+    sorts exactly once at construction.
     """
     if not samples:
         raise ValueError("percentile of empty sample set")
     if not 0 <= q <= 100:
         raise ValueError(f"percentile must be in [0, 100]: {q}")
-    ordered = sorted(samples)
+    ordered = samples if is_sorted else sorted(samples)
     if len(ordered) == 1:
         return ordered[0]
     rank = (q / 100) * (len(ordered) - 1)
@@ -50,8 +54,8 @@ class Cdf:
         return bisect.bisect_right(self._sorted, x) / len(self._sorted)
 
     def quantile(self, q: float) -> float:
-        """Inverse CDF at ``q`` in [0, 1]."""
-        return percentile(self._sorted, q * 100)
+        """Inverse CDF at ``q`` in [0, 1] (no re-sort: samples are sorted)."""
+        return percentile(self._sorted, q * 100, is_sorted=True)
 
     @property
     def median(self) -> float:

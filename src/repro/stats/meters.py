@@ -43,14 +43,20 @@ class ThroughputMeter:
         return self.bytes * 8 / elapsed
 
     def interval_rate_bps(self) -> float:
-        """Rate since the previous call to this method (interval report)."""
+        """Rate since the previous call to this method (interval report).
+
+        A zero-width interval (two reads at the same local instant) reports
+        0.0 **without consuming the marks** — bytes delivered at that
+        instant stay attributed to the next real interval, so the sum of
+        interval deltas always equals the meter's total.
+        """
         now = self.clock.now()
         interval = now - self._last_mark_time
+        if interval <= 0:
+            return 0.0
         delta = self.bytes - self._last_mark_bytes
         self._last_mark_time = now
         self._last_mark_bytes = self.bytes
-        if interval <= 0:
-            return 0.0
         return delta * 8 / interval
 
 

@@ -126,3 +126,53 @@ class TestShapedInterface:
         # ~1 enqueue + ~1 resume + 2 link events per packet; a ping-pong
         # regression would be tens of thousands.
         assert sim.events_processed < 1000
+
+
+class TestShaperDropTaxonomy:
+    """Backlog-overflow drops must be first-class taxonomy citizens."""
+
+    def build(self):
+        sim = Simulator()
+        a, b = Node(sim, "a"), Node(sim, "b")
+        link = Link(sim, a, b, bandwidth_bps=1e9, delay_s=0.0)
+        shaped = ShapedInterface(sim, link.a_to_b, 1000, 1000)
+        shaped.max_backlog_packets = 2
+        a.set_route("b", shaped)
+        sink = Sink(sim)
+        b.register_protocol("raw", sink)
+        return sim, a, shaped, sink
+
+    def test_overflow_charged_to_interface_taxonomy(self):
+        sim, a, shaped, sink = self.build()
+        for _ in range(10):
+            a.send(Packet(src="a", dst="b", protocol="raw", size_bytes=1000))
+        # Legacy attribute still counts (1 in flight + 2 queued kept).
+        assert shaped.dropped_packets == 7
+        # ...and the same drops land in the wrapped interface's taxonomy
+        # under the "shaper" reason, mirrored into the engine counters.
+        assert shaped.interface.drops == {"shaper": 7}
+        assert shaped.interface.total_drops == 7
+        assert sim.counters["drop.shaper"] == 7
+        sim.run()
+        assert len(sink.times) == 3
+
+    def test_overflow_visible_to_flow_monitor(self):
+        from repro.stats.flows import FlowMonitor
+
+        sim, a, shaped, sink = self.build()
+        monitor = FlowMonitor()
+        monitor.watch(shaped.interface)
+        for _ in range(10):
+            a.send(Packet(src="a", dst="b", protocol="raw", size_bytes=1000))
+        sim.run()
+        assert monitor.drops_by_reason() == {"shaper": 7}
+        assert monitor.interface_drops()[shaped.interface.name] == {"shaper": 7}
+        assert monitor.total_drops() == 7
+
+    def test_no_overflow_no_taxonomy_entry(self):
+        sim, a, shaped, sink = self.build()
+        a.send(Packet(src="a", dst="b", protocol="raw", size_bytes=1000))
+        sim.run()
+        assert shaped.dropped_packets == 0
+        assert shaped.interface.drops == {}
+        assert "drop.shaper" not in sim.counters

@@ -91,3 +91,41 @@ class TestKs:
     def test_property_matches_scipy(self, a, b):
         expected = scipy_stats.ks_2samp(a, b, method="asymp").statistic
         assert ks_distance(a, b) == pytest.approx(float(expected), abs=1e-9)
+
+
+class ComparisonCountingFloat(float):
+    """Float that counts order comparisons — a sort shows up as count > 0."""
+
+    comparisons = 0
+
+    def __lt__(self, other):
+        ComparisonCountingFloat.comparisons += 1
+        return float.__lt__(self, other)
+
+    def __gt__(self, other):
+        ComparisonCountingFloat.comparisons += 1
+        return float.__gt__(self, other)
+
+
+class TestQuantileFastPath:
+    def test_quantile_matches_percentile(self):
+        data = [5.0, 1.0, 9.0, 3.0, 7.0, 2.0]
+        cdf = Cdf(data)
+        for q in (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0):
+            assert cdf.quantile(q) == percentile(data, q * 100)
+
+    def test_quantile_does_not_resort(self):
+        data = [ComparisonCountingFloat(v) for v in (4.0, 1.0, 3.0, 2.0)]
+        cdf = Cdf(data)  # construction sorts exactly once
+        ComparisonCountingFloat.comparisons = 0
+        assert cdf.quantile(0.5) == 2.5
+        assert cdf.median == 2.5
+        assert cdf.quantile(1.0) == 4.0
+        assert ComparisonCountingFloat.comparisons == 0
+
+    def test_percentile_sorted_fast_path_explicit(self):
+        ordered = [1.0, 2.0, 3.0, 4.0]
+        for q in (0, 37.5, 50, 100):
+            assert percentile(ordered, q, is_sorted=True) == percentile(
+                list(reversed(ordered)), q
+            )

@@ -95,3 +95,45 @@ class TestLatencyMeter:
         meter.start("op")
         advance(sim, 1.0)  # 1 physical second = 0.1 virtual
         assert meter.stop("op") == pytest.approx(0.1)
+
+
+class TestZeroIntervalConservation:
+    """A zero-width interval must not swallow the bytes marked inside it."""
+
+    def test_zero_interval_does_not_consume_marks(self):
+        sim = Simulator()
+        meter = ThroughputMeter(PhysicalClock(sim))
+        meter.add(1000)
+        advance(sim, 1.0)
+        assert meter.interval_rate_bps() == pytest.approx(8000)
+        # Bytes land at the same instant as the next (degenerate) read...
+        meter.add(500)
+        assert meter.interval_rate_bps() == 0.0
+        # ...and must still be reported by the next real interval.
+        meter.add(250)
+        advance(sim, 1.0)
+        assert meter.interval_rate_bps() == pytest.approx(750 * 8)
+
+    def test_interval_deltas_sum_to_total(self):
+        sim = Simulator()
+        meter = ThroughputMeter(PhysicalClock(sim))
+        accounted = 0.0
+        last = 0.0
+        for chunk in (100, 200, 0, 300, 400):
+            meter.add(chunk)
+            if chunk != 0:
+                advance(sim, 0.5)
+            now = meter.clock.now()
+            rate = meter.interval_rate_bps()
+            accounted += rate * (now - last) / 8 if rate else 0.0
+            if rate:
+                last = now
+        assert accounted == pytest.approx(meter.bytes)
+
+    def test_dilated_zero_interval(self):
+        sim = Simulator()
+        meter = ThroughputMeter(DilatedClock(sim, tdf=10))
+        meter.add(1250)
+        assert meter.interval_rate_bps() == 0.0  # no virtual time elapsed
+        advance(sim, 10.0)  # 1 virtual second
+        assert meter.interval_rate_bps() == pytest.approx(10_000)

@@ -235,3 +235,37 @@ def test_fast_engine_keeps_heap_compacted():
     live = 4 * FLOWS  # 3 timers + 1 packet event per flow
     assert stats["max_heap_len"] < 20 * live, stats
     assert stats["compactions"] > 0
+
+
+def test_recorder_default_off_is_free_and_nonperturbing():
+    """The flight recorder's overhead contract, pinned on the engine.
+
+    Default-off: a fresh engine has no recorder bound, so the hot loop's
+    only cost is the one is-None check — and this benchmark's numbers are
+    measured on exactly that path. Attached: recording is append-only, so
+    the executed-event count (the determinism fingerprint) is unchanged
+    and the recorder sees one event per execution.
+    """
+    from repro.trace.recorder import FlightRecorder
+
+    def drive(recorder=None):
+        sim = Simulator()
+        assert sim._recorder is None  # default-off
+        if recorder is not None:
+            recorder.attach_engine(sim)
+
+        def tick(depth):
+            if depth:
+                sim.schedule_transient(0.001, tick, depth - 1)
+
+        for index in range(20):
+            sim.schedule(index * 0.0001, tick, 50)
+        sim.run()
+        return sim.events_processed
+
+    plain = drive()
+    recorder = FlightRecorder(capacity=None)
+    recorded = drive(recorder)
+    assert plain == recorded > 0
+    assert recorder.recorded == recorded
+    assert all(e.category == "timer" for e in recorder)

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Pinpointing where a dilated run's history forks, packet by packet.
+
+Aggregate equivalence checks ("goodput within 2%") tell you *that* a
+dilated run diverged from its baseline; the flight recorder tells you
+*where*. This example runs bulk TCP over a bottleneck impaired by a
+seeded Gilbert–Elliott burst-loss model, three times:
+
+* a TDF-1 baseline,
+* a faithful TDF-10 dilation (same seed — the loss process is
+  per-packet, so both runs face the identical drop pattern),
+* a *broken* "dilation" where the experimenter regenerated the loss
+  pattern with a fresh seed instead of reusing it.
+
+The faithful pair diffs clean on the virtual-time axis — zero
+divergences across thousands of events, warmup included. The broken
+pair forks at the exact packet where the new loss pattern first differs
+from the old one, and the diff report brackets that event with context
+from both recordings. Finally the dilated trace is synthesized into a
+pcap (nanosecond magic, virtual-time timestamps) for any header-level
+reader.
+
+Run it::
+
+    python examples/trace_divergence.py
+"""
+
+import os
+import tempfile
+
+from repro.core.dilation import NetworkProfile
+from repro.harness.experiments import run_bulk
+from repro.simnet.impairments import ImpairmentSpec
+from repro.simnet.units import format_rate, mbps, ms
+from repro.trace.diff import diff_traces, summarize_events
+from repro.trace.events import save_jsonl
+from repro.trace.pcap import export_pcap, read_pcap
+from repro.trace.spec import TraceSpec
+
+PERCEIVED = NetworkProfile.from_rtt(mbps(10), ms(20))
+TRACE = TraceSpec(point="bottleneck", tcp=True)
+
+
+def capture(tdf, seed):
+    impair = ImpairmentSpec(kind="gilbert", rate=0.01, burst=4.0, seed=seed)
+    result = run_bulk(PERCEIVED, tdf=tdf, duration_s=2.0, warmup_s=0.5,
+                      impair=impair, trace=TRACE)
+    return result, result.trace_events
+
+
+def main():
+    print("Capturing bulk TCP over a seeded Gilbert-Elliott bottleneck...")
+    base_result, base_events = capture(tdf=1, seed=42)
+    dilated_result, dilated_events = capture(tdf=10, seed=42)
+    broken_result, broken_events = capture(tdf=10, seed=7)
+
+    for label, result in (("TDF 1 (baseline)", base_result),
+                          ("TDF 10 (faithful)", dilated_result),
+                          ("TDF 10 (broken seed)", broken_result)):
+        print(f"  {label:22s} goodput {format_rate(result.goodput_bps):>12s}"
+              f"  retransmits {result.retransmits}"
+              f"  events {len(result.trace_events)}")
+
+    summary = summarize_events(dilated_events)
+    drops = summary["drops_by_reason"]
+    print(f"\nDilated recording: {summary['events']} events, "
+          f"drops by reason: {drops}")
+
+    # --- faithful dilation: zero divergences ---------------------------
+    clean = diff_traces(dilated_events, base_events)
+    print("\n== TDF 10 vs TDF 1 baseline (same seed) ==")
+    print(clean.render(label_a="tdf10", label_b="tdf1"))
+    assert clean.identical, "faithful dilation must diff clean"
+
+    # --- broken run: the first forked packet, with context -------------
+    broken = diff_traces(broken_events, base_events)
+    print("\n== broken TDF 10 vs TDF 1 baseline (regenerated seed) ==")
+    print(broken.render(label_a="broken", label_b="tdf1"))
+    assert not broken.identical, "a different loss pattern must diverge"
+
+    # --- artifacts: JSONL recordings + a virtual-time pcap -------------
+    out = tempfile.mkdtemp(prefix="trace-divergence-")
+    jsonl = os.path.join(out, "dilated.jsonl")
+    save_jsonl(dilated_events, jsonl)
+    pcap = os.path.join(out, "dilated.pcap")
+    count = export_pcap(dilated_events, pcap, time_base="virtual")
+    header, records = read_pcap(pcap)
+    print(f"\nArtifacts in {out}:")
+    print(f"  {jsonl}: {len(dilated_events)} events")
+    first = records[0]
+    print(f"  {pcap}: {count} packets, magic {header['magic']:#x}, "
+          f"first timestamp {first['ts_sec']}.{first['ts_nsec']:09d}s virtual")
+
+
+if __name__ == "__main__":
+    main()

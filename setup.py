@@ -13,6 +13,11 @@ setup(
     version="1.0.0",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
-    entry_points={"console_scripts": ["repro-figure=repro.harness.cli:main"]},
+    entry_points={
+        "console_scripts": [
+            "repro-figure=repro.harness.cli:main",
+            "repro-trace=repro.trace.cli:main",
+        ]
+    },
     python_requires=">=3.9",
 )

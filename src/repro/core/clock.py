@@ -16,6 +16,7 @@ continuous and strictly increasing.
 
 from __future__ import annotations
 
+from fractions import Fraction
 from typing import Callable, List, Tuple
 
 from ..simnet.clock import Clock
@@ -53,6 +54,11 @@ class DilatedClock(Clock):
         self._epochs: List[Tuple[float, float, TDF]] = [
             (self._physical_epoch, self._virtual_epoch, self._tdf)
         ]
+        #: Optional :class:`repro.trace.recorder.FlightRecorder`; records a
+        #: ``clock``/``epoch`` event on every runtime TDF change.
+        self.recorder = None
+        #: Label used as the trace event's site (set by attach_clock).
+        self.trace_label = ""
 
     # ------------------------------------------------------------- conversions
 
@@ -74,6 +80,30 @@ class DilatedClock(Clock):
         """Map virtual → physical using the epoch in effect at that instant."""
         physical_epoch, virtual_epoch, tdf = self._epoch_for_virtual(local_time)
         return physical_epoch + (local_time - virtual_epoch) * float(tdf.value)
+
+    def to_local_exact(self, physical_time: float) -> Fraction:
+        """Physical → virtual in exact rational arithmetic.
+
+        ``Fraction(float)`` is exact and the TDF is a fraction, so the
+        mapping through the epoch history introduces no rounding at all:
+        ``to_physical_exact(to_local_exact(p)) == Fraction(p)`` for any
+        TDF (7/3 included) and any number of runtime epoch changes. The
+        trace subsystem uses this to re-express recorded timestamps in
+        another time base without drift.
+        """
+        anchor = self._epoch_for_physical(float(physical_time))
+        physical_epoch, virtual_epoch, tdf = anchor
+        return Fraction(virtual_epoch) + (
+            Fraction(physical_time) - Fraction(physical_epoch)
+        ) / tdf.value
+
+    def to_physical_exact(self, local_time: float) -> Fraction:
+        """Virtual → physical in exact rational arithmetic (see above)."""
+        anchor = self._epoch_for_virtual(float(local_time))
+        physical_epoch, virtual_epoch, tdf = anchor
+        return Fraction(physical_epoch) + (
+            Fraction(local_time) - Fraction(virtual_epoch)
+        ) * tdf.value
 
     def _epoch_for_physical(self, physical_time: float) -> Tuple[float, float, TDF]:
         for anchor in reversed(self._epochs):
@@ -128,12 +158,17 @@ class DilatedClock(Clock):
         new_tdf = as_tdf(tdf)
         if new_tdf == self._tdf:
             return
+        old_tdf = self._tdf
         now_physical = self.sim.now
         now_virtual = self.to_local(now_physical)
         self._physical_epoch = now_physical
         self._virtual_epoch = now_virtual
         self._tdf = new_tdf
         self._epochs.append((now_physical, now_virtual, new_tdf))
+        if self.recorder is not None:
+            self.recorder.record_epoch(
+                self, now_physical, now_virtual, old_tdf, new_tdf
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"DilatedClock(tdf={self._tdf!r}, virtual_now={self.now():.6f})"

@@ -91,6 +91,21 @@ def _build_parser() -> argparse.ArgumentParser:
              "'reorder:rate=0.05,hold=0.002', 'duplicate:rate=0.01', "
              "'corrupt:rate=0.01', 'flap:windows=1.0-1.5/3.0-3.2'",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="SPEC",
+        help="attach a flight recorder to every traceable cell: "
+             "point[:key=value,...] with point one of bottleneck/reverse/"
+             "receiver — e.g. 'bottleneck:kinds=tx+rx+drop,tcp=1,"
+             "capacity=65536'; recordings land in --trace-dir as one "
+             "JSONL per figure",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        default="traces",
+        help="directory for --trace recordings (default: traces)",
+    )
     return parser
 
 
@@ -137,9 +152,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         if figure_id not in FIGURES:
             print(f"unknown figure {figure_id!r}; use --list", file=sys.stderr)
             return 2
+    if args.profile_engine and args.trace:
+        print("--trace cannot be combined with --profile-engine "
+              "(the profiled path bypasses the cell sweep)", file=sys.stderr)
+        return 2
     if args.profile_engine:
         return _run_profiled(requested, args)
 
+    trace_spec = None
+    if args.trace:
+        from ..trace.spec import TraceSpec
+
+        try:
+            trace_spec = TraceSpec.parse(args.trace)
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
     cache_dir = None if args.no_cache else args.cache_dir
     try:
         outcome = run_sweep(
@@ -148,6 +176,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             impair=args.impair,
             cache_dir=cache_dir,
             collect_timings=args.timings,
+            trace=trace_spec,
         )
     except ValueError as error:
         print(str(error), file=sys.stderr)
@@ -164,6 +193,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         print()
         if not result.all_passed:
             failures += 1
+    if trace_spec is not None:
+        import os
+
+        from ..trace.events import save_jsonl
+
+        os.makedirs(args.trace_dir, exist_ok=True)
+        by_figure: dict = {}
+        for figure_id, key, events in outcome.traces:
+            by_figure.setdefault(figure_id, []).append((key, events))
+        for figure_id, cells in by_figure.items():
+            path = os.path.join(args.trace_dir, f"{figure_id}.jsonl")
+            merged = [event for _, cell_events in cells
+                      for event in cell_events]
+            extra = [{"cell": key} for key, cell_events in cells
+                     for _ in cell_events]
+            save_jsonl(merged, path, extra=extra)
+            print(f"  trace: {path} ({len(merged)} events, "
+                  f"{len(cells)} cell(s))")
     # Deliberately free of wall time and job count: stdout is byte-identical
     # for any --jobs value (those diagnostics live in the --timings table).
     print(outcome.cache_summary())

@@ -28,6 +28,8 @@ from ..simnet.impairments import ImpairmentSpec
 from ..simnet.queues import DropTailQueue
 from ..simnet.topology import Network, build_dumbbell
 from ..simnet.trace import PacketTrace
+from ..trace.recorder import FlightRecorder
+from ..trace.spec import TraceSpec
 from ..tcp.options import TcpOptions
 from ..tcp.stack import TcpStack
 from ..udp.socket import UdpStack
@@ -118,6 +120,8 @@ class BulkFlowResult:
     bottleneck_drops: Dict[str, int] = field(default_factory=dict)
     #: Corrupted segments discarded by the receivers' checksum validation.
     checksum_drops: int = 0
+    #: Flight-recorder events (empty unless the run was given a TraceSpec).
+    trace_events: List = field(default_factory=list)
 
 
 def run_bulk(
@@ -132,6 +136,7 @@ def run_bulk(
     sack: bool = True,
     mss: int = 1460,
     impair: Optional[ImpairmentSpec] = None,
+    trace: Optional[TraceSpec] = None,
 ) -> BulkFlowResult:
     """Bulk TCP over a dilated dumbbell; goodput in virtual bits/second.
 
@@ -144,6 +149,15 @@ def run_bulk(
     duplication, corruption) depend only on the packet sequence, and the
     spec's time-valued knobs are virtual and scaled by the TDF, so a
     dilated lossy run faces the *same* impairment pattern as its baseline.
+
+    ``trace`` attaches a flight recorder per the spec (point / kinds /
+    capacity / tcp / timers) and returns its events in
+    ``BulkFlowResult.trace_events``. The recorder owns the first
+    receiver's clock, so every event carries a virtual timestamp and TDF
+    epoch changes are recorded. Recording spans the whole run including
+    warmup (so a dilated trace and its baseline's align from event zero).
+    ``trace.point == "receiver"`` cannot be combined with
+    ``collect_interarrivals`` (both claim the same interface's recorder).
     """
     factor = as_tdf(tdf)
     physical = physical_for(perceived, factor)
@@ -200,20 +214,39 @@ def run_bulk(
                 flow_id=f"flow{index}",
             )
         )
-    trace = None
+    packet_trace = None
     if collect_interarrivals:
-        trace = PacketTrace(
+        packet_trace = PacketTrace(
             bell.receiver_links[0].b_to_a, kinds=("rx",), flow_id="flow0"
         )
+    assert receiver_vm is not None
+    recorder = None
+    if trace is not None:
+        recorder = FlightRecorder(
+            capacity=trace.capacity,
+            clock=receiver_vm.clock,
+            name=f"bulk:{trace.point}",
+            packet_kinds=trace.kinds,
+        )
+        points = {
+            "bottleneck": bottleneck_egress,
+            "reverse": bell.bottleneck.interface_from(bell.router_right),
+            "receiver": bell.receiver_links[0].b_to_a,
+        }
+        recorder.attach_interface(points[trace.point])
+        recorder.attach_clock(receiver_vm.clock, label="rcv0")
+        if trace.timers:
+            recorder.attach_engine(net.sim)
     for client in clients:
         client.start()
-    assert receiver_vm is not None
+    if recorder is not None and trace.tcp:
+        recorder.attach_socket(clients[0].socket)
     warmup_bytes = [0] * flows
     if warmup_s > 0:
         net.run(until=receiver_vm.clock.to_physical(warmup_s))
         warmup_bytes = [server.total_bytes for server in servers]
-        if trace is not None:
-            trace.records.clear()
+        if packet_trace is not None:
+            packet_trace.clear()
     net.run(until=receiver_vm.clock.to_physical(duration_s))
     span = duration_s - warmup_s
     per_flow = [
@@ -223,8 +256,8 @@ def run_bulk(
     delivered = sum(server.total_bytes - start
                     for server, start in zip(servers, warmup_bytes))
     interarrivals: List[float] = []
-    if trace is not None:
-        interarrivals = trace.interarrivals(receiver_vm.clock)
+    if packet_trace is not None:
+        interarrivals = packet_trace.interarrivals(receiver_vm.clock)
     first = clients[0].socket
     return BulkFlowResult(
         goodput_bps=sum(per_flow),
@@ -245,6 +278,7 @@ def run_bulk(
         ),
         bottleneck_drops=dict(bottleneck_egress.drops),
         checksum_drops=sum(server.stack.checksum_drops for server in servers),
+        trace_events=recorder.snapshot() if recorder is not None else [],
     )
 
 

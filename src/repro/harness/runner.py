@@ -47,6 +47,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
+from ..trace.spec import TRACEABLE_RUNNERS, TraceSpec
 from .report import FigureResult, Table
 
 __all__ = [
@@ -63,7 +64,8 @@ __all__ = [
 ]
 
 #: Bump to invalidate every cached result (cache format / semantics change).
-CACHE_SCHEMA = 1
+#: 2: BulkFlowResult gained ``trace_events`` (schema-1 pickles lack it).
+CACHE_SCHEMA = 2
 
 #: Default on-disk cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -315,6 +317,8 @@ class CellTiming:
     peak_rss_kib: int = 0
     #: Engine events the cell executed (None when not profiled).
     events: Optional[int] = None
+    #: Flight-recorder events the cell captured (None unless traced).
+    recorder_events: Optional[int] = None
 
 
 @dataclass
@@ -328,6 +332,9 @@ class SweepOutcome:
     cells_executed: int
     jobs: int
     wall_s: float
+    #: Per traced cell, ``(figure_id, key, trace events)`` in spec order —
+    #: the deterministic merge order, independent of ``--jobs``.
+    traces: List[Tuple[str, str, List[Any]]] = field(default_factory=list)
 
     @property
     def all_passed(self) -> bool:
@@ -345,22 +352,32 @@ class SweepOutcome:
 
     def timings_table(self) -> str:
         """The per-cell timing table (spec order), rendered."""
+        traced = any(t.recorder_events is not None for t in self.timings)
+        columns = ["figure", "cell", "wall (s)", "peak RSS (MiB)", "events"]
+        if traced:
+            columns.append("recorder")
+        columns.append("source")
         table = Table(
-            ["figure", "cell", "wall (s)", "peak RSS (MiB)", "events",
-             "source"],
+            columns,
             title=f"Per-cell timings ({self.jobs} job(s), "
                   f"{self.wall_s:.1f} s sweep wall)",
         )
         for timing in self.timings:
-            table.add_row(
+            row = [
                 timing.figure_id,
                 timing.key,
                 f"{timing.wall_s:.2f}" if not timing.cached else "-",
                 f"{timing.peak_rss_kib / 1024:.1f}" if timing.peak_rss_kib
                 else "-",
                 f"{timing.events:,}" if timing.events is not None else "-",
-                "cache" if timing.cached else "run",
-            )
+            ]
+            if traced:
+                row.append(
+                    f"{timing.recorder_events:,}"
+                    if timing.recorder_events is not None else "-"
+                )
+            row.append("cache" if timing.cached else "run")
+            table.add_row(*row)
         executed = [t for t in self.timings if not t.cached]
         events = sum(t.events or 0 for t in executed)
         lines = [table.render()]
@@ -372,6 +389,35 @@ class SweepOutcome:
                 f"{events:,} engine events"
             )
         return "\n".join(lines)
+
+
+def _apply_trace(cells: List[CellSpec],
+                 trace: TraceSpec) -> Tuple[List[CellSpec], int]:
+    """Thread ``trace`` into every traceable cell; returns (cells, traced).
+
+    A traced cell gets ``kwargs["trace"] = trace`` — a *different* cell
+    (different token) from its untraced twin, so traced results never
+    alias untraced cache entries. Non-traceable runners pass through.
+    """
+    out: List[CellSpec] = []
+    traced = 0
+    for spec in cells:
+        if spec.runner in TRACEABLE_RUNNERS:
+            kwargs = dict(spec.kwargs)
+            kwargs["trace"] = trace
+            out.append(CellSpec(spec.figure_id, spec.key, spec.runner,
+                                kwargs))
+            traced += 1
+        else:
+            out.append(spec)
+    return out, traced
+
+
+def _recorder_events(spec: CellSpec, value: Any) -> Optional[int]:
+    """Captured-event count for a traced cell's result (None if untraced)."""
+    if spec.kwargs.get("trace") is None:
+        return None
+    return len(getattr(value, "trace_events", []) or [])
 
 
 def _resolve_jobs(jobs: Optional[int]) -> int:
@@ -388,6 +434,7 @@ def run_sweep(
     impair: Optional[str] = None,
     cache_dir: Optional[str] = DEFAULT_CACHE_DIR,
     collect_timings: bool = False,
+    trace: Optional[TraceSpec] = None,
 ) -> SweepOutcome:
     """Execute figures as a deduplicated cell sweep and merge in spec order.
 
@@ -395,6 +442,12 @@ def run_sweep(
     sequentially in this process (no pool, no pickling). ``cache_dir=None``
     disables the on-disk cache. The returned figures are in ``figure_ids``
     order and byte-identical to a sequential run.
+
+    ``trace`` attaches a flight recorder to every traceable cell (see
+    :data:`repro.trace.spec.TRACEABLE_RUNNERS`); the recordings come back
+    in ``SweepOutcome.traces`` in spec order — worker completion order
+    never leaks into the merge, so the traces are ``--jobs``-independent.
+    Requesting a trace for figures with no traceable cells is an error.
     """
     from .figures import CELL_MODEL
 
@@ -413,6 +466,13 @@ def run_sweep(
         if impair is not None and not model.has_impair_axis:
             raise ValueError(f"experiment {figure_id!r} has no --impair axis")
         cells = model.cells(impair)
+        if trace is not None:
+            cells, traced = _apply_trace(cells, trace)
+            if traced == 0:
+                raise ValueError(
+                    f"experiment {figure_id!r} has no traceable cells "
+                    f"(traceable runners: {', '.join(sorted(TRACEABLE_RUNNERS))})"
+                )
         per_figure[figure_id] = cells
         for spec in cells:
             unique.setdefault(spec.token(), spec)
@@ -427,7 +487,8 @@ def run_sweep(
             if hit:
                 results[token] = value
                 timing_by_token[token] = CellTiming(
-                    spec.figure_id, spec.key, token, cached=True
+                    spec.figure_id, spec.key, token, cached=True,
+                    recorder_events=_recorder_events(spec, value),
                 )
                 continue
         pending.append(spec)
@@ -450,6 +511,7 @@ def run_sweep(
                     timing_by_token[token] = CellTiming(
                         spec.figure_id, spec.key, token, cached=False,
                         wall_s=wall, peak_rss_kib=rss, events=events,
+                        recorder_events=_recorder_events(spec, value),
                     )
                     if cache is not None:
                         cache.store(token, value)
@@ -462,6 +524,7 @@ def run_sweep(
                 spec.figure_id, spec.key, spec.token(), cached=False,
                 wall_s=time.perf_counter() - cell_started,
                 peak_rss_kib=_peak_rss_kib(), events=events,
+                recorder_events=_recorder_events(spec, value),
             )
             if cache is not None:
                 cache.store(spec.token(), value)
@@ -475,6 +538,18 @@ def run_sweep(
     ]
     timings = [timing_by_token[token] for token in unique]
     executed = sum(1 for t in timings if not t.cached)
+    traces: List[Tuple[str, str, List[Any]]] = []
+    if trace is not None:
+        # Deterministic merge, same shape as the figures: per-figure spec
+        # order, whatever order the pool completed cells in.
+        for figure_id in figure_ids:
+            for spec in per_figure[figure_id]:
+                if spec.kwargs.get("trace") is not None:
+                    value = results[spec.token()]
+                    traces.append((
+                        figure_id, spec.key,
+                        list(getattr(value, "trace_events", []) or []),
+                    ))
     return SweepOutcome(
         figures=figures,
         timings=timings,
@@ -483,4 +558,5 @@ def run_sweep(
         cells_executed=executed,
         jobs=jobs,
         wall_s=time.perf_counter() - started,
+        traces=traces,
     )

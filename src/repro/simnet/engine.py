@@ -185,6 +185,10 @@ class Simulator:
         #: Optional :class:`repro.stats.engineprof.EngineProfiler` hook;
         #: when attached, the run loop reports each executed event to it.
         self._profiler = None
+        #: Optional :class:`repro.trace.recorder.FlightRecorder`; when
+        #: attached, the run loop records one 'timer'/'fire' event per
+        #: executed event. Default off: one is-None check per event.
+        self._recorder = None
         #: Freelist of recycled transient events.
         self._event_pool: List[Event] = []
         #: Engine-wide named counters ("drop.queue", "tcp.retransmits"…)
@@ -299,6 +303,7 @@ class Simulator:
         queue = self._queue
         heappop = heapq.heappop
         profiler = self._profiler
+        recorder = self._recorder
         pool = self._event_pool
         try:
             while queue and not self._stopped:
@@ -326,6 +331,9 @@ class Simulator:
                 executed += 1
                 if profiler is not None:
                     profiler._record(event)
+                if recorder is not None:
+                    # Before transient recycling below clears event.fn.
+                    recorder.record_timer(time, event.fn)
                 if event._transient and len(pool) < 512:
                     # Drop callback/arg references so pooled events do not
                     # pin packets or closures, then recycle the object.
@@ -393,6 +401,18 @@ class Simulator:
         self._profiler = profiler
         if profiler is not None:
             profiler.on_attach(self)
+
+    def attach_recorder(self, recorder) -> None:
+        """Attach a :class:`~repro.trace.recorder.FlightRecorder`.
+
+        When attached, every executed event is reported as a
+        ``timer``/``fire`` trace event. Pass ``None`` to detach. Like the
+        profiler, the run loop binds the recorder once at entry, so
+        attaching mid-run takes effect on the next :meth:`run` call.
+        Recording never perturbs event order or timing — the recorder only
+        appends to its ring buffer.
+        """
+        self._recorder = recorder
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -76,6 +76,10 @@ class Interface:
         self.peer: Optional["Interface"] = None
         self._busy = False
         self._taps: List[TapFn] = []
+        #: Optional :class:`repro.trace.recorder.FlightRecorder`. Default
+        #: off; each packet-event site pays one is-None check and nothing
+        #: else, so determinism pins and engine benchmarks are unchanged.
+        self.recorder = None
         #: Optional fault injector: packets for which this returns True are
         #: dropped before queueing (used by loss experiments and tests).
         self.loss_fn: Optional[Callable[[Packet], bool]] = None
@@ -142,6 +146,9 @@ class Interface:
         counters = self.sim.counters
         key = "drop." + reason
         counters[key] = counters.get(key, 0) + 1
+        if self.recorder is not None:
+            # Unlike taps, the recorder gets the taxonomy reason.
+            self.recorder.record_packet("drop", self, packet, reason)
         self._notify("drop", packet)
 
     def send(self, packet: Packet) -> None:
@@ -169,6 +176,8 @@ class Interface:
         if not self.queue.offer(packet):
             self._drop(packet, "queue")
             return
+        if self.recorder is not None:
+            self.recorder.record_packet("enqueue", self, packet)
         if self._taps:
             self._notify("enqueue", packet)
         if not self._busy:
@@ -192,6 +201,8 @@ class Interface:
     def _finish_transmit(self, packet: Packet) -> None:
         self.tx_bytes += packet.size_bytes
         self.tx_packets += 1
+        if self.recorder is not None:
+            self.recorder.record_packet("tx", self, packet)
         if self._taps:
             self._notify("tx", packet)
         peer = self.peer
@@ -205,6 +216,8 @@ class Interface:
     def _deliver(self, packet: Packet) -> None:
         self.rx_bytes += packet.size_bytes
         self.rx_packets += 1
+        if self.recorder is not None:
+            self.recorder.record_packet("rx", self, packet)
         if self._taps:
             self._notify("rx", packet)
         self.node.receive(packet, self)

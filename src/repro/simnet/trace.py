@@ -1,10 +1,18 @@
-"""Packet tracing — the emulator's tcpdump.
+"""Packet tracing — the emulator's tcpdump (compatibility shim).
 
-A :class:`PacketTrace` attaches to an interface as a tap and records one
-:class:`TraceRecord` per event. The figure-5 benchmark uses traces to
-compare packet interarrival distributions between dilated and baseline
-runs; traces can report interarrivals in either physical time or any
-clock's local (virtual) time.
+A :class:`PacketTrace` records one :class:`TraceRecord` per packet event
+on an interface. The figure-5 benchmark uses traces to compare packet
+interarrival distributions between dilated and baseline runs; traces can
+report interarrivals in either physical time or any clock's local
+(virtual) time.
+
+Since the flight-recorder subsystem landed, this module is a thin shim
+over :class:`repro.trace.recorder.FlightRecorder`: the trace attaches to
+the interface's single ``recorder`` slot (so attaching a second observer
+to the same interface raises), captures the drop-taxonomy reason on
+``'drop'`` records, and — when constructed with an owning ``clock`` —
+stamps each record with the virtual time at capture. New code should use
+:class:`~repro.trace.recorder.FlightRecorder` directly.
 """
 
 from __future__ import annotations
@@ -14,7 +22,6 @@ from typing import Iterable, List, Optional
 
 from .clock import Clock
 from .nic import Interface
-from .packet import Packet
 
 __all__ = ["TraceRecord", "PacketTrace"]
 
@@ -28,45 +35,77 @@ class TraceRecord:
     size_bytes: int
     flow_id: Optional[str]
     packet_uid: int
+    #: Virtual time at capture (None unless the trace owns a clock).
+    virtual_time: Optional[float] = None
+    #: Taxonomy reason for 'drop' records ("queue", "loss", …); None else.
+    drop_reason: Optional[str] = None
 
 
 class PacketTrace:
-    """Record packet events on an interface, optionally filtered by kind/flow."""
+    """Record packet events on an interface, optionally filtered by kind/flow.
+
+    Parameters
+    ----------
+    interface:
+        The observed interface; the trace claims its ``recorder`` slot.
+    kinds / flow_id:
+        Event filters, as before.
+    clock:
+        Optional owning clock; when given, every record also carries the
+        virtual time at capture (``timestamps``/``interarrivals`` can
+        still re-map through any other clock after the fact).
+    """
 
     def __init__(
         self,
         interface: Interface,
         kinds: Iterable[str] = ("rx",),
         flow_id: Optional[str] = None,
+        clock: Optional[Clock] = None,
     ) -> None:
-        self._kinds = frozenset(kinds)
-        self._flow_id = flow_id
-        self.records: List[TraceRecord] = []
-        interface.add_tap(self._observe)
+        from ..trace.recorder import FlightRecorder
 
-    def _observe(self, kind: str, time: float, packet: Packet) -> None:
-        if kind not in self._kinds:
-            return
-        if self._flow_id is not None and packet.flow_id != self._flow_id:
-            return
-        self.records.append(
-            TraceRecord(
-                kind=kind,
-                physical_time=time,
-                size_bytes=packet.size_bytes,
-                flow_id=packet.flow_id,
-                packet_uid=packet.uid,
-            )
+        self.recorder = FlightRecorder(
+            capacity=None,  # the legacy trace never evicted
+            clock=clock,
+            name=f"trace:{interface.name}",
+            packet_kinds=kinds,
+            flow_id=flow_id,
         )
+        self.recorder.attach_interface(interface)
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """The recorded events, oldest first, as legacy records."""
+        return [
+            TraceRecord(
+                kind=event.kind,
+                physical_time=event.physical_time,
+                size_bytes=event.size_bytes,
+                flow_id=event.flow_id,
+                packet_uid=event.packet_uid,
+                virtual_time=event.virtual_time,
+                drop_reason=event.reason if event.kind == "drop" else None,
+            )
+            for event in self.recorder
+        ]
+
+    def events(self):
+        """The underlying :class:`TraceEvent` list (full detail)."""
+        return self.recorder.snapshot()
+
+    def clear(self) -> None:
+        """Forget everything recorded so far (e.g. at end of warmup)."""
+        self.recorder.clear()
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self.recorder)
 
     def timestamps(self, clock: Optional[Clock] = None) -> List[float]:
         """Event times — physical, or mapped through ``clock`` to local time."""
         if clock is None:
-            return [record.physical_time for record in self.records]
-        return [clock.to_local(record.physical_time) for record in self.records]
+            return [event.physical_time for event in self.recorder]
+        return [clock.to_local(event.physical_time) for event in self.recorder]
 
     def interarrivals(self, clock: Optional[Clock] = None) -> List[float]:
         """Gaps between consecutive events, in physical or local seconds."""
@@ -75,4 +114,4 @@ class PacketTrace:
 
     def total_bytes(self) -> int:
         """Sum of recorded packet sizes."""
-        return sum(record.size_bytes for record in self.records)
+        return sum(event.size_bytes for event in self.recorder)

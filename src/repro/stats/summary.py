@@ -10,7 +10,25 @@ from __future__ import annotations
 import math
 from typing import Iterable, Optional
 
-__all__ = ["Summary"]
+__all__ = ["Summary", "describe"]
+
+
+def describe(values: Iterable[float], unit: str = "") -> str:
+    """One-line n/mean/stdev/min/max rendering of a sample set.
+
+    ``repro-trace summarize`` uses this for inter-event gaps; anything
+    with a list of floats can.
+    """
+    summary = Summary()
+    summary.extend(values)
+    if summary.count == 0:
+        return "n=0"
+    suffix = f" {unit}" if unit else ""
+    return (
+        f"n={summary.count}, mean={summary.mean:.6g}{suffix}, "
+        f"stdev={summary.stdev:.6g}, min={summary.minimum:.6g}, "
+        f"max={summary.maximum:.6g}"
+    )
 
 
 class Summary:

@@ -144,6 +144,13 @@ class TcpSocket:
         #: data is cumulatively acknowledged (sender-side progress hook).
         self.on_acked = on_acked
 
+        #: Optional :class:`repro.trace.recorder.FlightRecorder` observing
+        #: state transitions, retransmits and cwnd changes. Default off;
+        #: hot paths guard the hook with a single is-None check.
+        self.recorder = None
+        #: Last cwnd value reported to the recorder (dedups 'cwnd' events).
+        self._traced_cwnd = -1.0
+
         self.state = CLOSED
 
         # ---- sender state (sequence space: SYN=0, data starts at 1)
@@ -229,6 +236,26 @@ class TcpSocket:
         """The owning node's clock (virtual inside a dilated guest)."""
         return self.node.clock
 
+    def _set_state(self, new_state: str) -> None:
+        """Transition the connection state, tracing when a recorder is on.
+
+        State changes are rare (a handful per connection), so the extra
+        call is off every hot path; ``self.state = X`` assignment sites all
+        route through here except ``__init__``.
+        """
+        if self.recorder is not None and new_state != self.state:
+            self.recorder.record_tcp(
+                "state", self, f"{self.state}->{new_state}"
+            )
+        self.state = new_state
+
+    def _trace_cc(self, cause: str) -> None:
+        """Record a cwnd change; callers guard with ``recorder is not None``."""
+        cwnd = self.cc.cwnd
+        if cwnd != self._traced_cwnd:
+            self._traced_cwnd = cwnd
+            self.recorder.record_tcp("cwnd", self, cause, value=float(cwnd))
+
     @property
     def mss(self) -> int:
         return self.options.mss
@@ -263,7 +290,7 @@ class TcpSocket:
         """Client side: send the SYN."""
         if self.state != CLOSED:
             raise ProtocolError(f"cannot connect from state {self.state}")
-        self.state = SYN_SENT
+        self._set_state(SYN_SENT)
         self.snd_una = 0
         self.snd_nxt = 1
         self._emit(seq=0, syn=True, ack_flag=False)
@@ -271,7 +298,7 @@ class TcpSocket:
 
     def open_passive(self, syn: Segment) -> None:
         """Server side: a listener saw a SYN; reply SYN+ACK."""
-        self.state = SYN_RCVD
+        self._set_state(SYN_RCVD)
         self.snd_una = 0
         self.snd_nxt = 1
         self._emit(seq=0, syn=True, ack_flag=True)
@@ -302,9 +329,9 @@ class TcpSocket:
             return
         self._fin_pending = True
         if self.state == ESTABLISHED:
-            self.state = FIN_WAIT_1
+            self._set_state(FIN_WAIT_1)
         elif self.state == CLOSE_WAIT:
-            self.state = LAST_ACK
+            self._set_state(LAST_ACK)
         elif self.state in (SYN_SENT, SYN_RCVD):
             # Handshake still in flight: queue the graceful close; the
             # transition to FIN_WAIT_1 happens once we are established.
@@ -425,6 +452,12 @@ class TcpSocket:
             self.retransmits += 1
             counters = self.node.sim.counters
             counters["tcp.retransmits"] = counters.get("tcp.retransmits", 0) + 1
+            if self.recorder is not None:
+                self.recorder.record_tcp(
+                    "retransmit", self,
+                    "syn" if syn else "fin" if fin else "data",
+                    seq=seq, length=length,
+                )
             if self._timed_seq is not None and seq < self._timed_seq <= seq + max(length, 1):
                 self._timed_seq = None  # Karn: never sample a retransmission
         self._high_water = max(self._high_water, segment.end_seq)
@@ -485,6 +518,8 @@ class TcpSocket:
             self._emit(seq=0, syn=True, ack_flag=True, retransmission=True)
         else:
             self.cc.on_retransmit_timeout(self.flight_size, self.clock.now())
+            if self.recorder is not None:
+                self._trace_cc("rto")
             self._in_recovery = False
             self._dupacks = 0
             # An RTO invalidates our faith in the scoreboard (RFC 6675 §5.1).
@@ -564,6 +599,8 @@ class TcpSocket:
     def _enter_sack_recovery(self) -> None:
         now = self.clock.now()
         self.cc.on_enter_recovery_sack(self.flight_size, now)
+        if self.recorder is not None:
+            self._trace_cc("enter-recovery")
         self.fast_recoveries += 1
         self._in_recovery = True
         self._recover = self.snd_nxt
@@ -716,7 +753,7 @@ class TcpSocket:
             self._retries = 0
             self._cancel_rto()
             # Their SYN occupies remote sequence 0; stream data begins at 1.
-            self.state = FIN_WAIT_1 if self._fin_pending else ESTABLISHED
+            self._set_state(FIN_WAIT_1 if self._fin_pending else ESTABLISHED)
             self.snd_wnd = segment.window
             self._send_pure_ack()
             if self.on_connected is not None:
@@ -724,7 +761,7 @@ class TcpSocket:
             self._try_send()
         elif segment.syn and not segment.ack_flag:
             # Simultaneous open: respond with SYN+ACK (rare; supported).
-            self.state = SYN_RCVD
+            self._set_state(SYN_RCVD)
             self._emit(seq=0, syn=True, ack_flag=True)
 
     def _segment_in_syn_rcvd(self, segment: Segment) -> None:
@@ -736,7 +773,7 @@ class TcpSocket:
             self.snd_una = max(self.snd_una, 1)
             self._retries = 0
             self._cancel_rto()
-            self.state = FIN_WAIT_1 if self._fin_pending else ESTABLISHED
+            self._set_state(FIN_WAIT_1 if self._fin_pending else ESTABLISHED)
             self.snd_wnd = segment.window
             listener = getattr(self, "_accept_callback", None)
             if listener is not None:
@@ -791,6 +828,8 @@ class TcpSocket:
         ):
             # RFC 3168 §6.1.2: one window reduction per round trip.
             self.cc.on_ecn_congestion(self.flight_size, self.clock.now())
+            if self.recorder is not None:
+                self._trace_cc("ecn")
             self._ecn_recover = self.snd_nxt
             self._cwr_pending = True
         window_update = segment.window != self.snd_wnd
@@ -872,6 +911,10 @@ class TcpSocket:
         else:
             self._dupacks = 0
             self.cc.on_ack(acked, self.flight_size, now)
+        if self.recorder is not None:
+            # One check covers every cc mutation on the ACK path (growth,
+            # partial ack, recovery exit).
+            self._trace_cc("ack")
         if self.flight_size > 0:
             self._arm_rto()
         else:
@@ -893,6 +936,8 @@ class TcpSocket:
                 self._recovery_send()  # pipe shrank: maybe send more
             else:
                 self.cc.on_dup_ack_in_recovery()
+                if self.recorder is not None:
+                    self._trace_cc("dupack")
                 self._try_send()
             return
         if self._dupacks == 3:
@@ -902,6 +947,8 @@ class TcpSocket:
                 self._enter_sack_recovery()
                 return
             self.cc.on_enter_recovery(self.flight_size, now)
+            if self.recorder is not None:
+                self._trace_cc("enter-recovery")
             self._timed_seq = None
             if self.cc.supports_fast_recovery:
                 self.fast_recoveries += 1
@@ -919,7 +966,7 @@ class TcpSocket:
         if not fin_acked:
             return
         if self.state == FIN_WAIT_1:
-            self.state = FIN_WAIT_2
+            self._set_state(FIN_WAIT_2)
         elif self.state == CLOSING:
             self._enter_time_wait()
         elif self.state == LAST_ACK:
@@ -963,10 +1010,10 @@ class TcpSocket:
             return
         self._fin_received = True
         if self.state == ESTABLISHED:
-            self.state = CLOSE_WAIT
+            self._set_state(CLOSE_WAIT)
         elif self.state == FIN_WAIT_1:
             # FIN and our FIN crossed; were we also acked?
-            self.state = CLOSING
+            self._set_state(CLOSING)
         elif self.state == FIN_WAIT_2:
             self._enter_time_wait()
         self._send_pure_ack()
@@ -976,14 +1023,14 @@ class TcpSocket:
     # ---------------------------------------------------------------- teardown
 
     def _enter_time_wait(self) -> None:
-        self.state = TIME_WAIT
+        self._set_state(TIME_WAIT)
         self._cancel_rto()
         self.clock.call_in(2 * self.options.msl, self._become_closed)
 
     def _become_closed(self) -> None:
         if self.state == CLOSED:
             return
-        self.state = CLOSED
+        self._set_state(CLOSED)
         self._cancel_rto()
         if self._persist_event is not None:
             self._persist_event.cancel()

@@ -1,0 +1,269 @@
+"""First-divergence diffing between two recordings.
+
+The paper's validation methodology is *dilation equivalence*: a run at TDF
+k must be indistinguishable from a baseline whose resources are scaled by
+k. End-of-run aggregates (goodput, CDF distances) can tell you *that* two
+runs diverged; this module tells you *where* — the first event at which
+the dilated recording stops matching the scaled baseline, with the
+surrounding events for context.
+
+Alignment: events are grouped by :meth:`TraceEvent.stream_key` — for
+packet events that is ``packet/<interface>/<flow>/<kind>``, so the k-th
+``tx`` of ``flow0`` at the bottleneck in run A is compared against the
+k-th in run B regardless of how unrelated streams interleave. Within a
+stream, events are compared positionally on their *content* fields
+(sizes, TCP seq/ack/flags/window, drop reason) and on time. Packet and
+segment uids are **never** compared — they come from process-global
+counters and differ between runs that are otherwise identical.
+
+Time comparison prefers virtual timestamps (that is the axis on which a
+dilated run and its scaled baseline should agree); when either side lacks
+them it falls back to physical time. The tolerance is absolute seconds —
+dilated-vs-scaled float jitter in this codebase is ~1e-9, so the 1e-6
+default is slack while still catching any real divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .events import TraceEvent
+
+__all__ = [
+    "DEFAULT_TIME_TOLERANCE",
+    "Divergence",
+    "TraceDiffResult",
+    "diff_traces",
+    "summarize_events",
+]
+
+DEFAULT_TIME_TOLERANCE = 1e-6
+
+#: Content fields compared positionally within a stream (uids excluded on
+#: purpose — see module docstring).
+_CONTENT_FIELDS = (
+    "size_bytes", "reason", "src", "dst", "protocol",
+    "src_port", "dst_port", "seq", "ack", "payload_len", "flags", "window",
+)
+
+
+@dataclass(slots=True)
+class Divergence:
+    """One point where the recordings disagree."""
+
+    stream: str
+    #: Position within the stream (0-based event ordinal).
+    index: int
+    #: 'field', 'time', or 'length' (one stream is a prefix of the other).
+    kind: str
+    #: Which field diverged ('field'), or 'time' / 'count'.
+    detail: str
+    a_value: object
+    b_value: object
+    a_event: Optional[TraceEvent] = None
+    b_event: Optional[TraceEvent] = None
+
+    def describe(self) -> str:
+        if self.kind == "length":
+            return (
+                f"{self.stream}: stream lengths differ "
+                f"({self.a_value} vs {self.b_value} events)"
+            )
+        return (
+            f"{self.stream}[{self.index}]: {self.detail} differs "
+            f"({self.a_value!r} vs {self.b_value!r})"
+        )
+
+
+@dataclass(slots=True)
+class TraceDiffResult:
+    """All divergences, ordered by the first side's event time."""
+
+    divergences: List[Divergence] = field(default_factory=list)
+    streams_compared: int = 0
+    events_compared: int = 0
+    #: Events surrounding the first divergence, from each recording.
+    context_a: List[TraceEvent] = field(default_factory=list)
+    context_b: List[TraceEvent] = field(default_factory=list)
+
+    @property
+    def identical(self) -> bool:
+        return not self.divergences
+
+    @property
+    def first(self) -> Optional[Divergence]:
+        return self.divergences[0] if self.divergences else None
+
+    def render(self, context: int = 3, label_a: str = "A", label_b: str = "B") -> str:
+        """Human-readable report, first divergence with surrounding events."""
+        lines = [
+            f"streams compared : {self.streams_compared}",
+            f"events compared  : {self.events_compared}",
+            f"divergences      : {len(self.divergences)}",
+        ]
+        first = self.first
+        if first is None:
+            lines.append("recordings are equivalent")
+            return "\n".join(lines)
+        lines.append(f"first divergence : {first.describe()}")
+        for label, events in ((label_a, self.context_a), (label_b, self.context_b)):
+            if not events:
+                continue
+            lines.append(f"--- context ({label}) ---")
+            for event in events:
+                lines.append("  " + _format_event(event))
+        if len(self.divergences) > 1:
+            lines.append(f"... and {len(self.divergences) - 1} more divergence(s)")
+        return "\n".join(lines)
+
+
+def _format_event(event: TraceEvent) -> str:
+    time = event.virtual_time if event.virtual_time is not None \
+        else event.physical_time
+    extra = ""
+    if event.category == "packet":
+        extra = f" {event.size_bytes}B"
+        if event.seq or event.payload_len:
+            extra += f" seq={event.seq} len={event.payload_len} [{event.flags}]"
+        if event.reason:
+            extra += f" reason={event.reason}"
+    elif event.reason:
+        extra = f" {event.reason}"
+    if event.value:
+        extra += f" value={event.value:g}"
+    return f"t={time:.9f} {event.category}/{event.kind} @{event.site}{extra}"
+
+
+def _event_time(event: TraceEvent, use_virtual: bool) -> float:
+    if use_virtual and event.virtual_time is not None:
+        return event.virtual_time
+    return event.physical_time
+
+
+def _group(events: Sequence[TraceEvent]) -> Dict[str, List[TraceEvent]]:
+    streams: Dict[str, List[TraceEvent]] = {}
+    for event in events:
+        streams.setdefault(event.stream_key(), []).append(event)
+    return streams
+
+
+def diff_traces(
+    events_a: Sequence[TraceEvent],
+    events_b: Sequence[TraceEvent],
+    time_tolerance: float = DEFAULT_TIME_TOLERANCE,
+    compare_time: bool = True,
+    categories: Optional[Sequence[str]] = None,
+    context: int = 3,
+) -> TraceDiffResult:
+    """Align two recordings and report every divergence (first one detailed).
+
+    ``categories`` restricts the comparison (e.g. ``("packet",)`` to
+    ignore timer noise); ``compare_time=False`` checks ordering/content
+    only. Streams present in only one recording count as a 'length'
+    divergence at index 0.
+    """
+    if categories is not None:
+        allowed = frozenset(categories)
+        events_a = [e for e in events_a if e.category in allowed]
+        events_b = [e for e in events_b if e.category in allowed]
+    streams_a = _group(events_a)
+    streams_b = _group(events_b)
+    # Virtual time only if *both* recordings carry it throughout.
+    use_virtual = (
+        all(e.virtual_time is not None for e in events_a)
+        and all(e.virtual_time is not None for e in events_b)
+        and bool(events_a)
+    )
+
+    result = TraceDiffResult()
+    # Deterministic stream order: first appearance in recording A, then
+    # B-only streams in their first-appearance order.
+    ordered = list(streams_a)
+    ordered += [key for key in streams_b if key not in streams_a]
+    result.streams_compared = len(ordered)
+
+    for key in ordered:
+        side_a = streams_a.get(key, [])
+        side_b = streams_b.get(key, [])
+        for index, (ev_a, ev_b) in enumerate(zip(side_a, side_b)):
+            result.events_compared += 1
+            for name in _CONTENT_FIELDS:
+                val_a = getattr(ev_a, name)
+                val_b = getattr(ev_b, name)
+                if val_a != val_b:
+                    result.divergences.append(Divergence(
+                        key, index, "field", name, val_a, val_b, ev_a, ev_b
+                    ))
+                    break
+            else:
+                if compare_time:
+                    t_a = _event_time(ev_a, use_virtual)
+                    t_b = _event_time(ev_b, use_virtual)
+                    if abs(t_a - t_b) > time_tolerance:
+                        axis = "virtual time" if use_virtual else "time"
+                        result.divergences.append(Divergence(
+                            key, index, "time", axis, t_a, t_b, ev_a, ev_b
+                        ))
+        if len(side_a) != len(side_b):
+            index = min(len(side_a), len(side_b))
+            result.divergences.append(Divergence(
+                key, index, "length", "count", len(side_a), len(side_b),
+                a_event=side_a[index] if index < len(side_a) else None,
+                b_event=side_b[index] if index < len(side_b) else None,
+            ))
+
+    def _sort_key(div: Divergence) -> Tuple[float, str, int]:
+        anchor = div.a_event or div.b_event
+        time = _event_time(anchor, use_virtual) if anchor else float("inf")
+        return (time, div.stream, div.index)
+
+    result.divergences.sort(key=_sort_key)
+
+    first = result.first
+    if first is not None:
+        result.context_a = _context_for(
+            streams_a.get(first.stream, []), first.index, context
+        )
+        result.context_b = _context_for(
+            streams_b.get(first.stream, []), first.index, context
+        )
+    return result
+
+
+def _context_for(
+    stream: List[TraceEvent], index: int, context: int
+) -> List[TraceEvent]:
+    lo = max(0, index - context)
+    hi = min(len(stream), index + context + 1)
+    return stream[lo:hi]
+
+
+def summarize_events(events: Sequence[TraceEvent]) -> Dict[str, object]:
+    """Aggregate counts for ``repro-trace summarize`` and reports."""
+    by_kind: Dict[str, int] = {}
+    drops: Dict[str, int] = {}
+    flows: Dict[str, int] = {}
+    total_bytes = 0
+    t_lo = t_hi = None
+    for event in events:
+        label = f"{event.category}/{event.kind}"
+        by_kind[label] = by_kind.get(label, 0) + 1
+        if event.category == "packet":
+            total_bytes += event.size_bytes
+            if event.flow_id:
+                flows[event.flow_id] = flows.get(event.flow_id, 0) + 1
+            if event.kind == "drop":
+                reason = event.reason or "unknown"
+                drops[reason] = drops.get(reason, 0) + 1
+        time = event.physical_time
+        t_lo = time if t_lo is None else min(t_lo, time)
+        t_hi = time if t_hi is None else max(t_hi, time)
+    return {
+        "events": len(events),
+        "by_kind": dict(sorted(by_kind.items())),
+        "drops_by_reason": dict(sorted(drops.items())),
+        "flows": dict(sorted(flows.items())),
+        "packet_bytes": total_bytes,
+        "span_physical_s": (t_hi - t_lo) if events else 0.0,
+    }

@@ -1,0 +1,252 @@
+"""pcap export — open a recording in Wireshark or tcptrace.
+
+The emulator never hauls real payload bytes, so a capture is *synthesized*:
+for each packet event an Ethernet + IPv4 (+ TCP) header is packed with
+pure-stdlib ``struct`` from the :class:`~repro.simnet.packet.Packet` /
+:class:`~repro.tcp.segment.Segment` metadata the recorder stored. The
+record's ``incl_len`` covers just the synthesized headers while
+``orig_len`` reports the true wire size — exactly what a snap-length
+capture looks like, which every pcap consumer understands.
+
+Timestamps can be emitted in **physical time** or in **any clock's virtual
+time**. Virtual rescaling is *exact*: when the clock exposes
+``to_local_exact`` (see :class:`~repro.core.clock.DilatedClock`) the
+physical float is mapped through the epoch history in ``Fraction``
+arithmetic — TDF 7/3 introduces no drift — and only the final conversion
+to integer nanoseconds rounds. The nanosecond pcap magic (0xa1b23c4d) is
+used so dilated captures keep their sub-microsecond spacing.
+
+Addresses: node names are assigned ``10.0.x.y`` addresses in first-seen
+order (deterministic, since event order is deterministic); MACs embed the
+IP so Wireshark's conversation views group flows correctly.
+"""
+
+from __future__ import annotations
+
+import struct
+from fractions import Fraction
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .events import TraceEvent
+
+__all__ = [
+    "PCAP_MAGIC_NS",
+    "export_pcap",
+    "pcap_timestamp",
+    "read_pcap",
+]
+
+#: Nanosecond-resolution classic pcap magic, little-endian.
+PCAP_MAGIC_NS = 0xA1B23C4D
+
+#: DLT_EN10MB: the link type every pcap consumer knows.
+_LINKTYPE_ETHERNET = 1
+
+_ETHERTYPE_IPV4 = 0x0800
+_PROTO_NUMBERS = {"tcp": 6, "udp": 17}
+#: RFC 3692 experimental protocol number for payloads we cannot type.
+_PROTO_OPAQUE = 253
+
+_TCP_FLAG_BITS = {"F": 0x01, "S": 0x02, "R": 0x04, ".": 0x10}
+
+
+def _ip_for(name: str, table: Dict[str, int]) -> bytes:
+    """A stable 10.0.x.y address per node name, first-seen order."""
+    index = table.get(name)
+    if index is None:
+        index = len(table) + 1
+        table[name] = index
+    return struct.pack("!BBBB", 10, 0, (index >> 8) & 0xFF, index & 0xFF)
+
+
+def _mac_for(ip: bytes) -> bytes:
+    """A locally-administered MAC embedding the IP (02:00:<ip>)."""
+    return b"\x02\x00" + ip
+
+
+def _ipv4_checksum(header: bytes) -> int:
+    total = 0
+    for index in range(0, len(header), 2):
+        total += (header[index] << 8) | header[index + 1]
+    while total > 0xFFFF:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def pcap_timestamp(
+    event: TraceEvent,
+    time_base: str = "physical",
+    clock: Any = None,
+) -> Tuple[int, int]:
+    """(seconds, nanoseconds) for one event under the chosen time base.
+
+    ``clock`` rescales the event's physical time through the clock —
+    exactly, via ``to_local_exact``, when available. ``time_base=
+    "virtual"`` (without a clock) uses the virtual timestamp stored at
+    capture. Rounding to integer nanoseconds is monotone, so a
+    monotonically recorded stream yields monotone pcap timestamps.
+    """
+    if clock is not None:
+        exact = getattr(clock, "to_local_exact", None)
+        if exact is not None:
+            value: Any = exact(event.physical_time)
+        else:
+            value = clock.to_local(event.physical_time)
+    elif time_base == "virtual":
+        if event.virtual_time is None:
+            raise ValueError(
+                "event has no virtual timestamp (recorder had no clock); "
+                "pass a clock to rescale, or export in physical time"
+            )
+        value = event.virtual_time
+    elif time_base == "physical":
+        value = event.physical_time
+    else:
+        raise ValueError(f"unknown time base {time_base!r}")
+    nanos = round(Fraction(value) * 1_000_000_000)
+    if nanos < 0:
+        raise ValueError(f"negative pcap timestamp: {value}")
+    return divmod(nanos, 1_000_000_000)
+
+
+def _frame_for(event: TraceEvent, ip_table: Dict[str, int]) -> bytes:
+    """Synthesized Ethernet/IPv4(/TCP) headers for one packet event."""
+    src_ip = _ip_for(event.src or event.site, ip_table)
+    dst_ip = _ip_for(event.dst or "?", ip_table)
+    ethernet = _mac_for(dst_ip) + _mac_for(src_ip) + struct.pack(
+        "!H", _ETHERTYPE_IPV4
+    )
+    if event.protocol == "tcp" and (event.src_port or event.dst_port):
+        flag_bits = 0
+        for flag in event.flags:
+            flag_bits |= _TCP_FLAG_BITS.get(flag, 0)
+        if event.payload_len > 0:
+            flag_bits |= 0x08  # PSH: every synthetic data segment pushes
+        transport = struct.pack(
+            "!HHIIBBHHH",
+            event.src_port & 0xFFFF,
+            event.dst_port & 0xFFFF,
+            event.seq & 0xFFFFFFFF,
+            event.ack & 0xFFFFFFFF,
+            5 << 4,  # data offset: 5 words, no options materialised
+            flag_bits,
+            min(event.window, 0xFFFF),
+            0,  # checksum: left zero (snap-length capture)
+            0,
+        )
+        proto = _PROTO_NUMBERS["tcp"]
+        total_len = 20 + len(transport) + event.payload_len
+    else:
+        transport = b""
+        proto = _PROTO_NUMBERS.get(event.protocol, _PROTO_OPAQUE)
+        total_len = max(event.size_bytes, 20)
+    # ECN bits in the TOS byte: ECT(0) when capable, CE when marked.
+    tos = 0x03 if event.flags == "CE" else 0x02 if event.protocol == "tcp" else 0
+    ip = struct.pack(
+        "!BBHHHBBH4s4s",
+        (4 << 4) | 5,
+        tos,
+        min(total_len, 0xFFFF),
+        event.packet_uid & 0xFFFF,
+        0x4000,  # DF
+        64,
+        proto,
+        0,
+        src_ip,
+        dst_ip,
+    )
+    ip = ip[:10] + struct.pack("!H", _ipv4_checksum(ip)) + ip[12:]
+    return ethernet + ip + transport
+
+
+def export_pcap(
+    events: Iterable[TraceEvent],
+    path: str,
+    kinds: Tuple[str, ...] = ("tx", "rx"),
+    time_base: str = "physical",
+    clock: Any = None,
+) -> int:
+    """Write packet events to a classic (nanosecond) pcap; returns count.
+
+    ``kinds`` selects which packet events become capture records — the
+    default tx+rx mimics tcpdump on an interface. Non-packet events
+    (tcp/timer/clock) never appear in a pcap; use the JSONL recording and
+    ``repro-trace summarize`` for those.
+    """
+    ip_table: Dict[str, int] = {}
+    count = 0
+    with open(path, "wb") as handle:
+        handle.write(struct.pack(
+            "<IHHiIII", PCAP_MAGIC_NS, 2, 4, 0, 0, 65535,
+            _LINKTYPE_ETHERNET,
+        ))
+        for event in events:
+            if event.category != "packet" or event.kind not in kinds:
+                continue
+            seconds, nanos = pcap_timestamp(event, time_base, clock)
+            frame = _frame_for(event, ip_table)
+            # Ethernet framing (14 bytes) on top of the recorded wire size.
+            orig_len = max(event.size_bytes + 14, len(frame))
+            handle.write(struct.pack(
+                "<IIII", seconds, nanos, len(frame), orig_len
+            ))
+            handle.write(frame)
+            count += 1
+    return count
+
+
+def read_pcap(path: str) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Header-level pcap reader (pure stdlib) for tests and smoke checks.
+
+    Returns ``(global_header, records)``; each record dict carries the
+    timestamp (``ts`` as a float of seconds, plus exact ``ts_sec`` /
+    ``ts_nsec``), lengths, IP addressing, and TCP fields when present.
+    Raises ``ValueError`` on a file this exporter could not have written.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if len(data) < 24:
+        raise ValueError(f"{path}: truncated pcap (no global header)")
+    magic, major, minor, _, _, snaplen, linktype = struct.unpack(
+        "<IHHiIII", data[:24]
+    )
+    if magic != PCAP_MAGIC_NS:
+        raise ValueError(f"{path}: bad magic {magic:#x}")
+    header = {
+        "magic": magic, "version": (major, minor),
+        "snaplen": snaplen, "linktype": linktype,
+    }
+    records: List[Dict[str, Any]] = []
+    offset = 24
+    while offset < len(data):
+        if offset + 16 > len(data):
+            raise ValueError(f"{path}: truncated record header at {offset}")
+        ts_sec, ts_nsec, incl_len, orig_len = struct.unpack(
+            "<IIII", data[offset:offset + 16]
+        )
+        offset += 16
+        frame = data[offset:offset + incl_len]
+        if len(frame) != incl_len:
+            raise ValueError(f"{path}: truncated frame at {offset}")
+        offset += incl_len
+        record: Dict[str, Any] = {
+            "ts_sec": ts_sec, "ts_nsec": ts_nsec,
+            "ts": ts_sec + ts_nsec / 1e9,
+            "incl_len": incl_len, "orig_len": orig_len,
+        }
+        if len(frame) >= 34 and frame[12:14] == struct.pack(
+            "!H", _ETHERTYPE_IPV4
+        ):
+            ip = frame[14:34]
+            record["ip_total_len"] = struct.unpack("!H", ip[2:4])[0]
+            record["proto"] = ip[9]
+            record["src_ip"] = ".".join(str(b) for b in ip[12:16])
+            record["dst_ip"] = ".".join(str(b) for b in ip[16:20])
+            if ip[9] == _PROTO_NUMBERS["tcp"] and len(frame) >= 54:
+                tcp = frame[34:54]
+                (record["src_port"], record["dst_port"], record["seq"],
+                 record["ack"]) = struct.unpack("!HHII", tcp[:12])
+                record["tcp_flags"] = tcp[13]
+                record["window"] = struct.unpack("!H", tcp[14:16])[0]
+        records.append(record)
+    return header, records

@@ -1,0 +1,104 @@
+"""``TraceSpec`` — a picklable recorder configuration for the cell model.
+
+``repro-figure --trace <spec>`` and ``repro-trace capture`` thread one of
+these through :class:`~repro.harness.runner.CellSpec` kwargs into the
+runner (today :func:`~repro.harness.experiments.run_bulk`), which builds a
+:class:`~repro.trace.recorder.FlightRecorder` from it inside the worker
+process and returns the captured events in its result dataclass. Like
+:class:`~repro.simnet.impairments.ImpairmentSpec`, it is a frozen
+dataclass so the runner's canonical cache hashing works unchanged — a
+traced cell is a *different* cell from its untraced twin.
+
+Spec grammar (mirrors ``--impair``)::
+
+    point[:key=value,...]
+
+    bottleneck                           # data-direction bottleneck egress
+    bottleneck:kinds=tx+rx,capacity=4096
+    receiver:tcp=1,timers=1
+
+``point`` is where the packet recorder attaches: ``bottleneck`` (the
+data-direction bottleneck egress — the canonical observation point),
+``reverse`` (the ACK direction), or ``receiver`` (the first receiver's
+ingress link). ``kinds`` is a ``+``-separated subset of
+enqueue/tx/rx/drop; ``tcp=1`` additionally instruments the first sender's
+socket; ``timers=1`` records every executed engine event (high volume —
+the ring bounds it); ``capacity`` sizes the ring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["TraceSpec", "TRACEABLE_RUNNERS", "TRACE_POINTS"]
+
+TRACE_POINTS = ("bottleneck", "reverse", "receiver")
+
+#: Runners that accept a ``trace=`` kwarg (checked by the sweep runner so
+#: ``--trace`` fails loudly on figures that cannot honour it).
+TRACEABLE_RUNNERS = frozenset({"run_bulk"})
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Recorder configuration carried inside a cell spec."""
+
+    point: str = "bottleneck"
+    kinds: Tuple[str, ...] = ("enqueue", "tx", "rx", "drop")
+    capacity: int = 1 << 16
+    #: Also instrument the first sender's TCP socket (state/rexmit/cwnd).
+    tcp: bool = False
+    #: Also record one event per executed engine event.
+    timers: bool = False
+
+    def __post_init__(self) -> None:
+        if self.point not in TRACE_POINTS:
+            raise ValueError(
+                f"unknown trace point {self.point!r}; "
+                f"choose from {', '.join(TRACE_POINTS)}"
+            )
+        if self.capacity < 1:
+            raise ValueError(f"trace capacity must be positive: {self.capacity}")
+        bad = [k for k in self.kinds if k not in ("enqueue", "tx", "rx", "drop")]
+        if bad:
+            raise ValueError(f"unknown packet kinds: {', '.join(bad)}")
+
+    @classmethod
+    def parse(cls, text: str) -> "TraceSpec":
+        """Parse the CLI grammar; raises ``ValueError`` with a usable hint."""
+        head, _, rest = text.strip().partition(":")
+        point = head or "bottleneck"
+        kwargs = {}
+        if rest:
+            for item in rest.split(","):
+                if not item:
+                    continue
+                key, sep, value = item.partition("=")
+                if not sep:
+                    raise ValueError(
+                        f"bad trace option {item!r} (expected key=value)"
+                    )
+                key = key.strip()
+                value = value.strip()
+                if key == "kinds":
+                    kwargs["kinds"] = tuple(value.split("+"))
+                elif key == "capacity":
+                    kwargs["capacity"] = int(value)
+                elif key in ("tcp", "timers"):
+                    kwargs[key] = value not in ("0", "false", "no", "")
+                else:
+                    raise ValueError(
+                        f"unknown trace option {key!r}; "
+                        "known: kinds, capacity, tcp, timers"
+                    )
+        return cls(point=point, **kwargs)
+
+    def canonical_string(self) -> str:
+        """Round-trippable one-liner (used in filenames and reports)."""
+        parts = [f"kinds={'+'.join(self.kinds)}", f"capacity={self.capacity}"]
+        if self.tcp:
+            parts.append("tcp=1")
+        if self.timers:
+            parts.append("timers=1")
+        return f"{self.point}:{','.join(parts)}"

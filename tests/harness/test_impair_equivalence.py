@@ -11,7 +11,14 @@ counters, which is the stronger claim the substrate actually delivers.
 
 CI runs this module as the impairment tier: the seeded matrix is
 {Bernoulli, Gilbert–Elliott} × {TDF 1 (baseline), 5, 10}.
+
+Set ``REPRO_TRACE_ARTIFACTS=<dir>`` to get a first-divergence artifact on
+equivalence failure: the failing pair is re-run with a flight recorder at
+the bottleneck, both recordings are saved as JSONL, and a
+``repro-trace diff``-style report locates the first divergent event.
 """
+
+import os
 
 import pytest
 
@@ -49,21 +56,61 @@ def test_impairment_actually_bites(model):
     assert base.retransmits > 0
 
 
+def _write_trace_artifact(model, tdf):
+    """Opt-in failure artifact: re-run the failing pair traced and diff.
+
+    Returns the report path, or None when ``REPRO_TRACE_ARTIFACTS`` is
+    unset. The re-run is deterministic, so the traced recordings show the
+    same divergence the aggregate assertions tripped on — but located at
+    the first differing event instead of summed over the whole run.
+    """
+    out_dir = os.environ.get("REPRO_TRACE_ARTIFACTS")
+    if not out_dir:
+        return None
+    from repro.trace.diff import diff_traces
+    from repro.trace.events import save_jsonl
+    from repro.trace.spec import TraceSpec
+
+    spec = TraceSpec(point="bottleneck", tcp=True)
+    base = run_bulk(PERCEIVED, 1, duration_s=1.5, warmup_s=0.25,
+                    impair=SPECS[model], trace=spec)
+    dilated = run_bulk(PERCEIVED, tdf, duration_s=1.5, warmup_s=0.25,
+                       impair=SPECS[model], trace=spec)
+    os.makedirs(out_dir, exist_ok=True)
+    path_a = os.path.join(out_dir, f"{model}-tdf{tdf}.jsonl")
+    path_b = os.path.join(out_dir, f"{model}-baseline.jsonl")
+    save_jsonl(dilated.trace_events, path_a)
+    save_jsonl(base.trace_events, path_b)
+    report = diff_traces(dilated.trace_events, base.trace_events).render(
+        label_a=f"tdf{tdf}", label_b="baseline"
+    )
+    report_path = os.path.join(out_dir, f"{model}-tdf{tdf}.diff.txt")
+    with open(report_path, "w", encoding="utf-8") as handle:
+        handle.write(report + "\n")
+    return report_path
+
+
 @pytest.mark.parametrize("model", sorted(SPECS))
 @pytest.mark.parametrize("tdf", [5, 10])
 def test_lossy_equivalence(model, tdf):
     base = _baseline(model)
     dilated = _run(model, tdf)
-    # Acceptance bar: within 5%.
-    assert relative_error(dilated.goodput_bps, base.goodput_bps) <= 0.05
-    assert relative_error(dilated.retransmits, base.retransmits) <= 0.05
-    # What the deterministic substrate actually delivers: identity.
-    assert dilated.delivered_bytes == base.delivered_bytes
-    assert dilated.retransmits == base.retransmits
-    assert dilated.bottleneck_drops == base.bottleneck_drops
-    assert dilated.dupacks == base.dupacks
-    assert dilated.fast_recoveries == base.fast_recoveries
-    assert dilated.events_processed == base.events_processed
+    try:
+        # Acceptance bar: within 5%.
+        assert relative_error(dilated.goodput_bps, base.goodput_bps) <= 0.05
+        assert relative_error(dilated.retransmits, base.retransmits) <= 0.05
+        # What the deterministic substrate actually delivers: identity.
+        assert dilated.delivered_bytes == base.delivered_bytes
+        assert dilated.retransmits == base.retransmits
+        assert dilated.bottleneck_drops == base.bottleneck_drops
+        assert dilated.dupacks == base.dupacks
+        assert dilated.fast_recoveries == base.fast_recoveries
+        assert dilated.events_processed == base.events_processed
+    except AssertionError as error:
+        artifact = _write_trace_artifact(model, tdf)
+        if artifact is not None:
+            pytest.fail(f"{error}\nfirst-divergence artifact: {artifact}")
+        raise
 
 
 @pytest.mark.parametrize("model", sorted(SPECS))

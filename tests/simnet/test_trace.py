@@ -75,3 +75,64 @@ def test_kind_filter_and_total_bytes():
     sim.run()
     assert len(trace) == 4
     assert trace.total_bytes() == 2000
+
+
+def test_virtual_time_captured_with_owning_clock():
+    sim = Simulator()
+    a, b, link = wired_pair(sim)
+    clock = DilatedClock(sim, tdf=10)
+    trace = PacketTrace(link.b_to_a, clock=clock)
+    send_n(a, 3)
+    sim.run()
+    for record in trace.records:
+        assert record.virtual_time == pytest.approx(record.physical_time / 10)
+
+
+def test_virtual_time_none_without_clock():
+    sim = Simulator()
+    a, b, link = wired_pair(sim)
+    trace = PacketTrace(link.b_to_a)
+    send_n(a, 1)
+    sim.run()
+    assert trace.records[0].virtual_time is None
+
+
+def test_drop_records_carry_taxonomy_reason():
+    sim = Simulator()
+    a, b, link = wired_pair(sim)
+    trace = PacketTrace(link.a_to_b, kinds=("drop", "rx"))
+    link.a_to_b.set_loss(lambda packet: True)
+    send_n(a, 2)
+    sim.run()
+    assert len(trace) == 2
+    assert all(record.kind == "drop" and record.drop_reason == "injected"
+               for record in trace.records)
+
+
+def test_non_drop_records_have_no_reason():
+    sim = Simulator()
+    a, b, link = wired_pair(sim)
+    trace = PacketTrace(link.b_to_a)
+    send_n(a, 1)
+    sim.run()
+    assert trace.records[0].drop_reason is None
+
+
+def test_one_trace_per_interface():
+    sim = Simulator()
+    a, b, link = wired_pair(sim)
+    PacketTrace(link.b_to_a)
+    with pytest.raises(ValueError, match="already has a recorder"):
+        PacketTrace(link.b_to_a)
+
+
+def test_clear_forgets_records():
+    sim = Simulator()
+    a, b, link = wired_pair(sim)
+    trace = PacketTrace(link.b_to_a)
+    send_n(a, 3)
+    sim.run()
+    assert len(trace) == 3
+    trace.clear()
+    assert len(trace) == 0
+    assert trace.records == []

@@ -1,0 +1,129 @@
+"""``repro-trace`` CLI: capture -> export -> diff -> summarize."""
+
+import json
+import struct
+
+import pytest
+
+from repro.core.dilation import NetworkProfile
+from repro.harness import figures
+from repro.harness.report import FigureResult, Table
+from repro.harness.runner import CellSpec, FigureCells
+from repro.simnet.units import mbps, ms
+from repro.trace import cli as trace_cli
+
+PERCEIVED = NetworkProfile.from_rtt(mbps(5), ms(10))
+
+
+def _tiny_cells():
+    return [
+        CellSpec("figtest", f"tdf{k}", "run_bulk",
+                 {"perceived": PERCEIVED, "tdf": k,
+                  "duration_s": 0.6, "warmup_s": 0.1})
+        for k in (1, 10)
+    ]
+
+
+def _tiny_assemble(results):
+    table = Table(["cell"])
+    for key in results:
+        table.add_row(key)
+    return FigureResult("figtest", "tiny", table)
+
+
+@pytest.fixture()
+def tiny_figure(monkeypatch):
+    monkeypatch.setitem(
+        figures.CELL_MODEL, "figtest",
+        FigureCells(enumerate=_tiny_cells, assemble=_tiny_assemble),
+    )
+
+
+def test_capture_export_diff_summarize(tmp_path, tiny_figure, capsys):
+    rc = trace_cli.main([
+        "capture", "figtest", "--out", str(tmp_path),
+        "--spec", "bottleneck:tcp=1",
+    ])
+    assert rc == 0
+    baseline = tmp_path / "figtest-tdf1.jsonl"
+    dilated = tmp_path / "figtest-tdf10.jsonl"
+    assert baseline.exists() and dilated.exists()
+    out = capsys.readouterr().out
+    assert "figtest-tdf1.jsonl" in out and "events" in out
+
+    # Dilated vs scaled baseline: zero divergences.
+    rc = trace_cli.main(["diff", str(dilated), str(baseline)])
+    assert rc == 0
+    assert "equivalent" in capsys.readouterr().out
+
+    # pcap export, with valid nanosecond magic bytes.
+    pcap_path = tmp_path / "dilated.pcap"
+    rc = trace_cli.main(["export", str(dilated), "-o", str(pcap_path)])
+    assert rc == 0
+    with open(pcap_path, "rb") as handle:
+        assert struct.unpack("<I", handle.read(4))[0] == 0xA1B23C4D
+
+    # Virtual-time export works (the recorder owned the receiver's clock).
+    rc = trace_cli.main(["export", str(dilated), "-o",
+                         str(tmp_path / "virtual.pcap"),
+                         "--time-base", "virtual"])
+    assert rc == 0
+
+    rc = trace_cli.main(["summarize", str(baseline)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "events" in out and "inter-event gaps" in out
+
+
+def test_diff_detects_doctored_recording(tmp_path, tiny_figure, capsys):
+    rc = trace_cli.main([
+        "capture", "figtest", "--cells", "tdf1", "--out", str(tmp_path),
+    ])
+    assert rc == 0
+    original = tmp_path / "figtest-tdf1.jsonl"
+    doctored = tmp_path / "doctored.jsonl"
+    lines = original.read_text().splitlines()
+    broken = False
+    records = []
+    for line in lines:
+        record = json.loads(line)
+        if not broken and record.get("kind") == "tx":
+            record["size_bytes"] = record.get("size_bytes", 0) + 1
+            broken = True
+        records.append(json.dumps(record))
+    doctored.write_text("\n".join(records) + "\n")
+    assert broken
+    rc = trace_cli.main(["diff", str(original), str(doctored)])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "first divergence" in out
+    assert "size_bytes" in out
+
+
+def test_capture_cell_filter(tmp_path, tiny_figure):
+    rc = trace_cli.main([
+        "capture", "figtest", "--cells", "tdf10", "--out", str(tmp_path),
+    ])
+    assert rc == 0
+    assert (tmp_path / "figtest-tdf10.jsonl").exists()
+    assert not (tmp_path / "figtest-tdf1.jsonl").exists()
+
+
+def test_capture_error_paths(tmp_path, tiny_figure, capsys):
+    assert trace_cli.main(["capture", "nope", "--out", str(tmp_path)]) == 2
+    assert "unknown figure" in capsys.readouterr().err
+    assert trace_cli.main([
+        "capture", "figtest", "--cells", "tdf99", "--out", str(tmp_path),
+    ]) == 2
+    assert "unknown cell" in capsys.readouterr().err
+    assert trace_cli.main([
+        "capture", "figtest", "--spec", "warpcore", "--out", str(tmp_path),
+    ]) == 2
+    assert "unknown trace point" in capsys.readouterr().err
+
+
+def test_diff_missing_file(tmp_path, capsys):
+    missing = tmp_path / "nope.jsonl"
+    present = tmp_path / "yes.jsonl"
+    present.write_text("")
+    assert trace_cli.main(["diff", str(missing), str(present)]) == 2

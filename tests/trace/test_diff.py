@@ -1,0 +1,141 @@
+"""Trace-diff engine: alignment, first divergence, uid blindness."""
+
+import dataclasses
+
+from repro.trace.diff import diff_traces, summarize_events
+from repro.trace.events import TraceEvent
+
+
+def _stream(kind="tx", n=5, site="bn", flow="flow0", uid_base=0,
+            virtual_scale=None, t0=1.0, gap=0.01):
+    events = []
+    for index in range(n):
+        t = t0 + index * gap
+        events.append(TraceEvent(
+            category="packet", kind=kind, physical_time=t,
+            virtual_time=(t / virtual_scale) if virtual_scale else None,
+            site=site, flow_id=flow, packet_uid=uid_base + index,
+            size_bytes=1500, src="snd0", dst="rcv0", protocol="tcp",
+            src_port=40000, dst_port=5001, seq=1460 * index, ack=1,
+            payload_len=1460, flags=".", window=65535,
+        ))
+    return events
+
+
+def test_identical_traces():
+    result = diff_traces(_stream(), _stream())
+    assert result.identical
+    assert result.streams_compared == 1
+    assert result.events_compared == 5
+    assert "equivalent" in result.render()
+
+
+def test_uids_never_compared():
+    """Packet uids come from process-global counters; two equivalent runs
+    number packets differently and must still diff clean."""
+    result = diff_traces(_stream(uid_base=0), _stream(uid_base=10_000))
+    assert result.identical
+
+
+def test_field_divergence_located():
+    a = _stream()
+    b = _stream()
+    b[3] = dataclasses.replace(b[3], seq=b[3].seq + 1460)
+    result = diff_traces(a, b)
+    assert not result.identical
+    first = result.first
+    assert first.kind == "field"
+    assert first.detail == "seq"
+    assert first.index == 3
+    assert first.stream.startswith("packet/bn/flow0")
+    # Context brackets the divergence from both sides.
+    assert a[3] in result.context_a
+    assert b[3] in result.context_b
+    assert "first divergence" in result.render()
+
+
+def test_drop_reason_divergence():
+    a = _stream(kind="drop")
+    b = _stream(kind="drop")
+    a[1] = dataclasses.replace(a[1], reason="queue")
+    b[1] = dataclasses.replace(b[1], reason="loss")
+    first = diff_traces(a, b).first
+    assert first.kind == "field" and first.detail == "reason"
+    assert (first.a_value, first.b_value) == ("queue", "loss")
+
+
+def test_time_divergence_on_virtual_axis():
+    # TDF-10 run vs baseline: same virtual times -> equivalent...
+    a = _stream(virtual_scale=10.0, t0=10.0, gap=0.1)
+    b = [dataclasses.replace(e, physical_time=e.virtual_time,
+                             virtual_time=e.virtual_time)
+         for e in a]
+    assert diff_traces(a, b).identical
+    # ...until one virtual timestamp slips beyond tolerance.
+    b[2] = dataclasses.replace(b[2], virtual_time=b[2].virtual_time + 1e-3)
+    result = diff_traces(a, b)
+    assert result.first.kind == "time"
+    assert result.first.detail == "virtual time"
+    assert result.first.index == 2
+    # A loose tolerance accepts the slip.
+    assert diff_traces(a, b, time_tolerance=0.01).identical
+
+
+def test_physical_time_fallback_without_virtual():
+    a = _stream()
+    b = [dataclasses.replace(e, physical_time=e.physical_time + 5e-7)
+         for e in _stream()]
+    assert diff_traces(a, b).identical  # inside the 1e-6 default
+    b = [dataclasses.replace(e, physical_time=e.physical_time + 5e-3)
+         for e in _stream()]
+    result = diff_traces(a, b)
+    assert result.first.kind == "time" and result.first.detail == "time"
+    assert diff_traces(a, b, compare_time=False).identical
+
+
+def test_length_divergence_and_one_sided_streams():
+    result = diff_traces(_stream(n=5), _stream(n=3))
+    assert result.first.kind == "length"
+    assert result.first.index == 3
+    assert (result.first.a_value, result.first.b_value) == (5, 3)
+    # A stream present only in one recording is a length divergence too.
+    result = diff_traces(_stream(), _stream() + _stream(kind="rx", n=2))
+    assert len(result.divergences) == 1
+    assert result.first.kind == "length"
+    assert (result.first.a_value, result.first.b_value) == (0, 2)
+
+
+def test_category_filter():
+    a = _stream() + [TraceEvent(category="timer", kind="fire",
+                                physical_time=0.5, site="A.cb")]
+    b = _stream() + [TraceEvent(category="timer", kind="fire",
+                                physical_time=0.5, site="B.cb")]
+    assert not diff_traces(a, b).identical  # timer sites differ
+    assert diff_traces(a, b, categories=("packet",)).identical
+
+
+def test_divergences_ordered_by_time():
+    a = _stream(kind="tx") + _stream(kind="rx", t0=2.0)
+    b = _stream(kind="tx") + _stream(kind="rx", t0=2.0)
+    # Later divergence in the tx stream, earlier one in the rx stream.
+    a[4] = dataclasses.replace(a[4], size_bytes=9000)     # tx[4] @ t=1.04
+    a[6] = dataclasses.replace(a[6], size_bytes=9000)     # rx[1] @ t=2.01
+    a[2] = dataclasses.replace(a[2], size_bytes=9000)     # tx[2] @ t=1.02
+    result = diff_traces(a, b)
+    assert [d.index for d in result.divergences] == [2, 4, 1]
+    assert result.first.stream.endswith("/tx")
+
+
+def test_summarize_events():
+    events = (_stream(kind="tx", n=3) + _stream(kind="drop", n=2)
+              + [TraceEvent(category="tcp", kind="cwnd", physical_time=9.0)])
+    events[3] = dataclasses.replace(events[3], reason="queue")
+    events[4] = dataclasses.replace(events[4], reason="loss")
+    summary = summarize_events(events)
+    assert summary["events"] == 6
+    assert summary["by_kind"] == {"packet/drop": 2, "packet/tx": 3,
+                                  "tcp/cwnd": 1}
+    assert summary["drops_by_reason"] == {"loss": 1, "queue": 1}
+    assert summary["flows"] == {"flow0": 5}
+    assert summary["packet_bytes"] == 5 * 1500
+    assert summary["span_physical_s"] > 0

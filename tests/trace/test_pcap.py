@@ -1,0 +1,123 @@
+"""pcap export: header synthesis, readability, lengths, flags."""
+
+import struct
+
+import pytest
+
+from repro.trace.events import TraceEvent
+from repro.trace.pcap import PCAP_MAGIC_NS, export_pcap, read_pcap
+
+
+def _tcp_event(kind="tx", t=1.0, seq=1000, payload=1460, flags=".",
+               src="snd0", dst="rcv0"):
+    return TraceEvent(
+        category="packet", kind=kind, physical_time=t, site="bn",
+        flow_id="flow0", packet_uid=7, size_bytes=payload + 40,
+        src=src, dst=dst, protocol="tcp", src_port=40000, dst_port=5001,
+        seq=seq, ack=555, payload_len=payload, flags=flags, window=65535,
+    )
+
+
+def test_global_header(tmp_path):
+    path = tmp_path / "empty.pcap"
+    assert export_pcap([], str(path)) == 0
+    header, records = read_pcap(str(path))
+    assert header["magic"] == PCAP_MAGIC_NS
+    assert header["version"] == (2, 4)
+    assert header["linktype"] == 1  # Ethernet
+    assert records == []
+
+
+def test_magic_bytes_on_disk(tmp_path):
+    path = tmp_path / "magic.pcap"
+    export_pcap([_tcp_event()], str(path))
+    with open(path, "rb") as handle:
+        assert struct.unpack("<I", handle.read(4))[0] == 0xA1B23C4D
+
+
+def test_tcp_fields_survive_round_trip(tmp_path):
+    path = tmp_path / "tcp.pcap"
+    events = [
+        _tcp_event(t=1.0, seq=0, payload=0, flags="S"),
+        _tcp_event(t=1.1, seq=1, payload=1460, flags="."),
+        _tcp_event(t=1.2, seq=1461, payload=0, flags="F"),
+    ]
+    assert export_pcap(events, str(path)) == 3
+    _, records = read_pcap(str(path))
+    assert [r["src_port"] for r in records] == [40000] * 3
+    assert [r["dst_port"] for r in records] == [5001] * 3
+    assert [r["seq"] for r in records] == [0, 1, 1461]
+    assert [r["ack"] for r in records] == [555] * 3
+    # SYN; ACK+PSH (data); FIN.
+    assert records[0]["tcp_flags"] & 0x02
+    assert records[1]["tcp_flags"] & 0x10 and records[1]["tcp_flags"] & 0x08
+    assert records[2]["tcp_flags"] & 0x01
+    assert all(r["proto"] == 6 for r in records)
+
+
+def test_lengths_snap_capture_semantics(tmp_path):
+    path = tmp_path / "len.pcap"
+    event = _tcp_event(payload=1460)  # wire size 1500
+    export_pcap([event], str(path))
+    _, [record] = read_pcap(str(path))
+    assert record["incl_len"] == 14 + 20 + 20  # synthesized headers only
+    assert record["orig_len"] == event.size_bytes + 14  # true frame size
+    assert record["ip_total_len"] == 20 + 20 + 1460
+
+
+def test_deterministic_addressing(tmp_path):
+    path = tmp_path / "addr.pcap"
+    events = [
+        _tcp_event(src="snd0", dst="rcv0"),
+        _tcp_event(src="rcv0", dst="snd0"),
+        _tcp_event(src="snd0", dst="rcv0"),
+    ]
+    export_pcap(events, str(path))
+    _, records = read_pcap(str(path))
+    # First-seen order: snd0 -> 10.0.0.1, rcv0 -> 10.0.0.2; stable after.
+    assert records[0]["src_ip"] == "10.0.0.1"
+    assert records[0]["dst_ip"] == "10.0.0.2"
+    assert records[1]["src_ip"] == "10.0.0.2"
+    assert records[2]["src_ip"] == "10.0.0.1"
+
+
+def test_kind_selection(tmp_path):
+    path = tmp_path / "kinds.pcap"
+    events = [_tcp_event(kind="enqueue"), _tcp_event(kind="tx"),
+              _tcp_event(kind="rx"), _tcp_event(kind="drop")]
+    assert export_pcap(events, str(path)) == 2  # default: tx+rx
+    assert export_pcap(events, str(path), kinds=("drop",)) == 1
+
+
+def test_non_packet_events_never_exported(tmp_path):
+    path = tmp_path / "mixed.pcap"
+    events = [
+        TraceEvent(category="tcp", kind="cwnd", physical_time=0.5),
+        _tcp_event(t=1.0),
+        TraceEvent(category="timer", kind="fire", physical_time=1.5),
+        TraceEvent(category="clock", kind="epoch", physical_time=2.0),
+    ]
+    assert export_pcap(events, str(path)) == 1
+
+
+def test_non_tcp_payload_gets_ip_frame(tmp_path):
+    path = tmp_path / "raw.pcap"
+    event = TraceEvent(category="packet", kind="rx", physical_time=0.25,
+                       site="if0", src="a", dst="b", protocol="raw",
+                       size_bytes=500)
+    export_pcap([event], str(path), kinds=("rx",))
+    _, [record] = read_pcap(str(path))
+    assert record["proto"] == 253  # RFC 3692 experimental
+    assert record["ip_total_len"] == 500
+    assert "src_port" not in record
+
+
+def test_read_rejects_foreign_files(tmp_path):
+    path = tmp_path / "bogus.pcap"
+    path.write_bytes(b"\xd4\xc3\xb2\xa1" + b"\x00" * 20)  # microsecond magic
+    with pytest.raises(ValueError, match="bad magic"):
+        read_pcap(str(path))
+    short = tmp_path / "short.pcap"
+    short.write_bytes(b"\x01\x02")
+    with pytest.raises(ValueError, match="truncated"):
+        read_pcap(str(short))

@@ -1,0 +1,96 @@
+"""Exact virtual<->physical rescaling — fractional TDFs, runtime epochs.
+
+The pcap exporter re-expresses recorded physical timestamps in a clock's
+virtual time. These tests pin the exactness claim: mapping through the
+epoch history in ``Fraction`` arithmetic round-trips *bit-exactly* for
+awkward TDFs (7/3) and across runtime TDF changes, and the final
+rounding to integer pcap nanoseconds is monotone.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.clock import DilatedClock
+from repro.simnet.engine import Simulator
+from repro.trace.events import TraceEvent
+from repro.trace.pcap import export_pcap, pcap_timestamp, read_pcap
+
+AWKWARD_TIMES = [
+    0.0, 1e-9, 0.1, 0.3333333333333333, 0.9999999999999999,
+    1.0, 1.5000000000000002, 2.718281828459045, 3.141592653589793, 10.0,
+]
+
+
+def test_exact_round_trip_fractional_tdf():
+    sim = Simulator()
+    clock = DilatedClock(sim, tdf=Fraction(7, 3))
+    for physical in AWKWARD_TIMES:
+        virtual = clock.to_local_exact(physical)
+        assert clock.to_physical_exact(virtual) == Fraction(physical)
+
+
+def test_exact_round_trip_across_runtime_epochs():
+    sim = Simulator()
+    clock = DilatedClock(sim, tdf=Fraction(7, 3))
+    sim.schedule(1.0, lambda: clock.set_tdf(10))
+    sim.schedule(2.5, lambda: clock.set_tdf(Fraction(1, 3)))
+    sim.schedule(4.0, lambda: None)
+    sim.run()
+    assert len(clock._epochs) == 3
+    for physical in AWKWARD_TIMES + [1.0, 2.5, 2.5000000001, 4.0, 7.7]:
+        virtual = clock.to_local_exact(physical)
+        assert clock.to_physical_exact(virtual) == Fraction(physical)
+
+
+def test_exact_matches_float_mapping():
+    """The exact mapping agrees with the float fast path to float precision."""
+    sim = Simulator()
+    clock = DilatedClock(sim, tdf=Fraction(7, 3))
+    sim.schedule(1.0, lambda: clock.set_tdf(5))
+    sim.run()
+    for physical in AWKWARD_TIMES:
+        assert float(clock.to_local_exact(physical)) == pytest.approx(
+            clock.to_local(physical), abs=1e-12
+        )
+
+
+def test_pcap_timestamp_is_exact_at_fractional_tdf():
+    sim = Simulator()
+    clock = DilatedClock(sim, tdf=Fraction(7, 3))
+    event = TraceEvent(category="packet", kind="tx", physical_time=7.0)
+    # virtual = 7 / (7/3) = 3 seconds, exactly.
+    assert pcap_timestamp(event, clock=clock) == (3, 0)
+    event = TraceEvent(category="packet", kind="tx", physical_time=1.0)
+    # virtual = 3/7 s; nanoseconds round to the nearest integer.
+    assert pcap_timestamp(event, clock=clock) == (0, round(Fraction(3, 7) * 10**9))
+
+
+def test_pcap_timestamps_monotone_across_epochs(tmp_path):
+    sim = Simulator()
+    clock = DilatedClock(sim, tdf=Fraction(7, 3))
+    sim.schedule(1.0, lambda: clock.set_tdf(Fraction(22, 7)))
+    sim.schedule(2.0, lambda: clock.set_tdf(1))
+    sim.run()
+    events = [
+        TraceEvent(category="packet", kind="tx",
+                   physical_time=0.0001 * i + (0.9995 if i > 10 else 0),
+                   site="bn", src="a", dst="b", protocol="raw",
+                   size_bytes=100)
+        for i in range(30)
+    ]
+    path = tmp_path / "mono.pcap"
+    count = export_pcap(events, str(path), clock=clock)
+    assert count == len(events)
+    _, records = read_pcap(str(path))
+    stamps = [(r["ts_sec"], r["ts_nsec"]) for r in records]
+    assert stamps == sorted(stamps)
+
+
+def test_virtual_base_uses_captured_timestamp():
+    event = TraceEvent(category="packet", kind="tx", physical_time=10.0,
+                       virtual_time=2.5)
+    assert pcap_timestamp(event, time_base="virtual") == (2, 500_000_000)
+    bare = TraceEvent(category="packet", kind="tx", physical_time=10.0)
+    with pytest.raises(ValueError, match="no virtual timestamp"):
+        pcap_timestamp(bare, time_base="virtual")

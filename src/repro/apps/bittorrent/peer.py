@@ -17,9 +17,10 @@ a dilated swarm's dynamics play out in virtual time.
 
 from __future__ import annotations
 
+import heapq
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from ...core.timer import PeriodicTimer
 from ...simnet.node import Node
@@ -55,6 +56,16 @@ class PeerConfig:
     optimistic_every_rounds: int = 3
     request_pipeline: int = 2
     stall_timeout_s: float = 30.0
+    #: Hard cap on simultaneous neighbours (the classic client's default
+    #: ceiling). Inbound connections beyond the cap are refused and tracker
+    #: samples are only dialled up to it — without a cap a 250-peer swarm
+    #: degenerates into a full mesh and every per-neighbour loop pays O(N).
+    max_connections: int = 80
+    #: Re-announce to the tracker (at a choke-round edge) while leeching
+    #: with fewer than this many neighbours — a late joiner whose entire
+    #: tracker sample was capped peers would otherwise strand with zero
+    #: connections, exactly like a real client that never re-announced.
+    min_peers: int = 5
 
 
 @dataclass(eq=False)  # identity semantics: connections live in sets
@@ -68,6 +79,10 @@ class _Connection:
     peer_choking: bool = True
     peer_interested: bool = False
     remote_have: Set[int] = field(default_factory=set)
+    #: ``remote_have - peer.have``: the pieces this neighbour could give us,
+    #: maintained incrementally so interest checks and rarest-first
+    #: candidate scans never re-walk the whole bitfield.
+    interesting: Set[int] = field(default_factory=set)
     outstanding: Set[int] = field(default_factory=set)
     #: Bytes received from this neighbour since the last choke round.
     downloaded_window: int = 0
@@ -104,6 +119,7 @@ class Peer:
         self.tcp_options = tcp_options
         self.on_complete = on_complete
 
+        self.is_seed = seed
         self.have: Set[int] = set(meta.all_pieces()) if seed else set()
         self.started_at: Optional[float] = None
         self.completed_at: Optional[float] = None if not seed else 0.0
@@ -115,9 +131,15 @@ class Peer:
         self._pending_since: Dict[int, float] = {}
         self._connections: List[_Connection] = []
         self._by_socket: Dict[int, _Connection] = {}
+        self._by_name: Dict[str, _Connection] = {}
+        #: Swarm-wide replica count per piece (how many neighbours have it),
+        #: kept in sync with every Bitfield/Have/disconnect so rarest-first
+        #: never rebuilds a counts dict over all connections.
+        self._avail: List[int] = [0] * meta.num_pieces
         self._choke_rounds = 0
         self._choke_timer: Optional[PeriodicTimer] = None
         self._optimistic: Optional[_Connection] = None
+        self._announce: Optional[tracker_mod.AnnounceHandle] = None
 
     # ------------------------------------------------------------- lifecycle
 
@@ -126,8 +148,21 @@ class Peer:
         """Whether every piece is held."""
         return len(self.have) == self.meta.num_pieces
 
+    @property
+    def connection_count(self) -> int:
+        """Live neighbour connections."""
+        return len(self._connections)
+
     def download_time(self) -> Optional[float]:
-        """Local seconds from start to completion (None while leeching)."""
+        """Local seconds from start to completion (None while leeching).
+
+        A peer that began life complete (a seed) downloaded nothing: its
+        download time is 0.0 by definition, whether or not it has been
+        started — the seed era left ``completed_at=0.0, started_at=None``
+        on an unstarted seed, an ill-defined pair.
+        """
+        if self.is_seed:
+            return 0.0
         if self.completed_at is None or self.started_at is None:
             return None
         return self.completed_at - self.started_at
@@ -145,7 +180,7 @@ class Peer:
             on_close=self._on_socket_close,
             on_error=self._on_socket_error,
         )
-        tracker_mod.announce(
+        self._announce = tracker_mod.announce(
             self.udp, self.tracker_addr, self.meta.name, self.name, self.port,
             self._on_tracker_peers,
         )
@@ -154,18 +189,30 @@ class Peer:
         )
 
     def stop(self) -> None:
-        """Stop timers (connections are left to the simulation's end)."""
+        """Leave the swarm: stop timers and deregister from the tracker.
+
+        Connections are left to the simulation's end; the ``stopped``
+        announce lets the tracker drop us from future peer samples.
+        """
         if self._choke_timer is not None:
             self._choke_timer.stop()
+        if self._announce is not None:
+            self._announce.cancel()
+            self._announce = None
+        if self.started_at is not None:
+            tracker_mod.announce(
+                self.udp, self.tracker_addr, self.meta.name, self.name,
+                self.port, None, event="stopped", max_tries=3,
+            )
 
     # ------------------------------------------------------------ connections
 
     def _on_tracker_peers(self, peers: List) -> None:
         for remote_name, remote_port in peers:
-            if remote_name == self.name:
+            if remote_name == self.name or remote_name in self._by_name:
                 continue
-            if any(c.remote_name == remote_name for c in self._connections):
-                continue
+            if len(self._connections) >= self.config.max_connections:
+                break
             sock = self.tcp.connect(
                 remote_name,
                 remote_port,
@@ -175,7 +222,7 @@ class Peer:
                 on_close=self._on_socket_close,
                 on_error=self._on_socket_error,
             )
-            self._register(sock).remote_name = remote_name
+            self._set_remote_name(self._register(sock), remote_name)
 
     def _register(self, sock: TcpSocket) -> _Connection:
         connection = _Connection(socket=sock)
@@ -183,9 +230,19 @@ class Peer:
         self._by_socket[id(sock)] = connection
         return connection
 
+    def _set_remote_name(self, connection: _Connection, name: str) -> None:
+        connection.remote_name = name
+        # First mapping wins: a simultaneous dial/accept pair keeps both
+        # connections (as the seed code did), the index just answers the
+        # "already connected to X?" question in O(1).
+        self._by_name.setdefault(name, connection)
+
     def _on_accept(self, sock: TcpSocket) -> None:
+        if len(self._connections) >= self.config.max_connections:
+            sock.close()
+            return
         connection = self._register(sock)
-        connection.remote_name = sock.remote_addr
+        self._set_remote_name(connection, sock.remote_addr)
         self._send_handshake(connection)
 
     def _on_connected(self, sock: TcpSocket) -> None:
@@ -215,6 +272,13 @@ class Peer:
             return
         if connection in self._connections:
             self._connections.remove(connection)
+            for piece in connection.remote_have:
+                self._avail[piece] -= 1
+        name = connection.remote_name
+        if name is not None and self._by_name.get(name) is connection:
+            del self._by_name[name]
+        if self._optimistic is connection:
+            self._optimistic = None
         for piece in list(connection.outstanding):
             self._unpend(piece)
         self._fill_pipelines()
@@ -235,13 +299,11 @@ class Peer:
         if connection is None:
             return
         if isinstance(message, Handshake):
-            connection.remote_name = message.peer_name
+            self._set_remote_name(connection, message.peer_name)
         elif isinstance(message, Bitfield):
-            connection.remote_have |= set(message.have)
-            self._update_interest(connection)
+            self._add_remote_pieces(connection, message.have)
         elif isinstance(message, Have):
-            connection.remote_have.add(message.piece)
-            self._update_interest(connection)
+            self._add_remote_pieces(connection, (message.piece,))
             self._fill_pipeline(connection)
         elif isinstance(message, Interested):
             connection.peer_interested = True
@@ -276,30 +338,50 @@ class Peer:
         connection.downloaded_window += message.length
         self.bytes_downloaded += message.length
         self._unpend(message.piece)
-        if message.piece in self.have:
+        piece = message.piece
+        if piece in self.have:
             return  # duplicate (e.g. raced a re-request)
-        self.have.add(message.piece)
+        self.have.add(piece)
         for other in self._connections:
-            self._send(other, Have(piece=message.piece))
+            # Have suppression, as real clients do: a neighbour that already
+            # holds the piece learns nothing from our Have, and at swarm
+            # scale the unsuppressed broadcast is an O(N^2 * pieces) storm.
+            if piece not in other.remote_have:
+                self._send(other, Have(piece=piece))
+            if piece in other.interesting:
+                other.interesting.discard(piece)
+                self._update_interest(other)
         if self.complete and self.completed_at is None:
             self.completed_at = self.node.clock.now()
             if self.on_complete is not None:
                 self.on_complete(self)
-        self._update_all_interest()
         self._fill_pipeline(connection)
 
     # ------------------------------------------------------------- requesting
 
+    def _add_remote_pieces(
+        self, connection: _Connection, pieces: Iterable[int]
+    ) -> None:
+        """Fold a Bitfield/Have delta into the incremental indexes."""
+        remote = connection.remote_have
+        interesting = connection.interesting
+        avail = self._avail
+        have = self.have
+        for piece in pieces:
+            if piece in remote:
+                continue
+            remote.add(piece)
+            avail[piece] += 1
+            if piece not in have:
+                interesting.add(piece)
+        self._update_interest(connection)
+
     def _needed_from(self, connection: _Connection) -> List[int]:
-        return [
-            piece for piece in connection.remote_have
-            if piece not in self.have and piece not in self._pending
-        ]
+        pending = self._pending
+        return [p for p in connection.interesting if p not in pending]
 
     def _update_interest(self, connection: _Connection) -> None:
-        interesting = any(
-            piece not in self.have for piece in connection.remote_have
-        )
+        interesting = bool(connection.interesting)
         if interesting and not connection.am_interested:
             connection.am_interested = True
             self._send(connection, Interested())
@@ -307,28 +389,17 @@ class Peer:
             connection.am_interested = False
             self._send(connection, NotInterested())
 
-    def _update_all_interest(self) -> None:
-        for connection in self._connections:
-            self._update_interest(connection)
-
-    def _availability(self) -> Dict[int, int]:
-        counts: Dict[int, int] = {}
-        for connection in self._connections:
-            for piece in connection.remote_have:
-                counts[piece] = counts.get(piece, 0) + 1
-        return counts
-
     def _fill_pipeline(self, connection: _Connection) -> None:
-        if connection.peer_choking:
+        if connection.peer_choking or not connection.interesting:
             return
-        counts = self._availability()
+        avail = self._avail
         while len(connection.outstanding) < self.config.request_pipeline:
             candidates = self._needed_from(connection)
             if not candidates:
                 return
             # Rarest first; random tie-break keeps replicas spreading.
-            rarest = min(counts.get(piece, 1) for piece in candidates)
-            pool = [p for p in candidates if counts.get(p, 1) == rarest]
+            rarest = min(avail[p] for p in candidates)
+            pool = [p for p in candidates if avail[p] == rarest]
             piece = self.rng.choice(pool)
             self._request(connection, piece)
 
@@ -365,17 +436,32 @@ class Peer:
     def _choke_round(self, round_index: int) -> None:
         self._choke_rounds += 1
         self._retry_stalled()
+        if (
+            not self.complete
+            and len(self._connections) < self.config.min_peers
+            and (self._announce is None or self._announce.done)
+        ):
+            self._announce = tracker_mod.announce(
+                self.udp, self.tracker_addr, self.meta.name, self.name,
+                self.port, self._on_tracker_peers,
+            )
         interested = [c for c in self._connections if c.peer_interested]
         if self.complete:
             # Seeds reciprocate nothing: rank by recent upload throughput so
             # capacity goes where it is being drained fastest.
-            interested.sort(key=lambda c: (-c.uploaded_window, c.remote_name or ""))
+            key = lambda c: (-c.uploaded_window, c.remote_name or "")
         else:
-            interested.sort(key=lambda c: (-c.downloaded_window, c.remote_name or ""))
-        regular = interested[: max(0, self.config.upload_slots - 1)]
+            key = lambda c: (-c.downloaded_window, c.remote_name or "")
+        # nsmallest(k, ...) is documented equivalent to sorted(...)[:k] but
+        # O(n log k): the round only ever needs the top slots, not a full
+        # ranking of every interested neighbour.
+        slots = max(0, self.config.upload_slots - 1)
+        regular = heapq.nsmallest(slots, interested, key=key)
         unchoke = set(regular)
         rotate = (self._choke_rounds % self.config.optimistic_every_rounds) == 1
-        if rotate or self._optimistic not in self._connections:
+        if rotate or self._optimistic is None:
+            # Pool in stable connection order (dropped connections clear
+            # ``_optimistic``), so the rng draw stays deterministic.
             choked_pool = [c for c in interested if c not in unchoke]
             self._optimistic = self.rng.choice(choked_pool) if choked_pool else None
         if self._optimistic is not None:

@@ -54,11 +54,8 @@ class Swarm:
 
     def download_times(self) -> List[float]:
         """Completion times (local/virtual seconds) of finished leechers."""
-        return [
-            peer.download_time()
-            for peer in self.leechers
-            if peer.download_time() is not None
-        ]
+        times = (peer.download_time() for peer in self.leechers)
+        return [t for t in times if t is not None]
 
 
 def build_swarm(

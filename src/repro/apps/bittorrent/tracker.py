@@ -3,6 +3,15 @@
 A minimal UDP tracker in the spirit of BEP 15: peers announce themselves
 and receive a sample of already-known peers. Announce/response sizes match
 the real protocol's order of magnitude (~100 bytes + 6 per returned peer).
+
+Announces are datagrams, and datagrams get lost — to queue overflow when
+a swarm's worth of peers announce at once, or to an impairment chain on
+the tracker link. The client side therefore retries with exponential
+backoff on the announcing node's (virtual) clock until a reply arrives or
+the try budget is exhausted, and closes its ephemeral socket either way.
+The registry has a lifecycle too: a ``stopped`` announce deregisters the
+peer, and an optional ``peer_ttl_s`` expires entries whose last announce
+is older than the TTL, so late announcers are not handed departed peers.
 """
 
 from __future__ import annotations
@@ -11,14 +20,21 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ...core.timer import Timer
 from ...udp.socket import Datagram, UdpSocket, UdpStack
 
-__all__ = ["TrackerServer", "announce"]
+__all__ = ["TrackerServer", "announce", "AnnounceHandle"]
 
 TRACKER_PORT = 6969
 ANNOUNCE_BYTES = 98
 RESPONSE_BASE_BYTES = 20
 BYTES_PER_PEER = 6
+
+#: Client retry schedule: first retry after the base delay, doubling up to
+#: the cap, giving up after ``ANNOUNCE_MAX_TRIES`` transmissions.
+ANNOUNCE_RETRY_BASE_S = 2.0
+ANNOUNCE_RETRY_CAP_S = 16.0
+ANNOUNCE_MAX_TRIES = 8
 
 
 @dataclass(frozen=True)
@@ -28,6 +44,8 @@ class AnnounceRequest:
     torrent: str
     peer_name: str
     peer_port: int
+    #: ``"started"`` registers the peer; ``"stopped"`` deregisters it.
+    event: str = "started"
 
 
 @dataclass(frozen=True)
@@ -39,7 +57,13 @@ class AnnounceResponse:
 
 
 class TrackerServer:
-    """Keeps the peer registry per torrent and answers announces."""
+    """Keeps the peer registry per torrent and answers announces.
+
+    ``peer_ttl_s`` (virtual seconds on the tracker node's clock) expires
+    registry entries whose last announce is older than the TTL; ``None``
+    (the default) keeps the seed behaviour of never expiring, which is
+    correct for swarms whose peers announce once and stay for the run.
+    """
 
     def __init__(
         self,
@@ -47,14 +71,22 @@ class TrackerServer:
         port: int = TRACKER_PORT,
         max_peers_returned: int = 50,
         rng: Optional[random.Random] = None,
+        peer_ttl_s: Optional[float] = None,
     ) -> None:
         self.udp = udp
         self.port = port
         self.max_peers_returned = max_peers_returned
+        self.peer_ttl_s = peer_ttl_s
         self._rng = rng if rng is not None else random.Random(0)
         #: torrent -> ordered dict of (peer_name, port)
         self.registry: Dict[str, Dict[str, int]] = {}
+        #: torrent -> peer_name -> virtual time of the last announce.
+        self._last_seen: Dict[str, Dict[str, float]] = {}
         self.announces = 0
+        #: Peers removed by a ``stopped`` announce.
+        self.departed = 0
+        #: Peers removed by TTL expiry.
+        self.expired = 0
         self.socket = udp.bind(port, self._on_datagram)
 
     def _on_datagram(self, sock: UdpSocket, datagram: Datagram) -> None:
@@ -63,11 +95,24 @@ class TrackerServer:
             return
         self.announces += 1
         peers = self.registry.setdefault(request.torrent, {})
+        seen = self._last_seen.setdefault(request.torrent, {})
+        if request.event == "stopped":
+            if peers.pop(request.peer_name, None) is not None:
+                self.departed += 1
+            seen.pop(request.peer_name, None)
+            # Stopped announces are acknowledged with an empty sample so
+            # the client's retry loop terminates and closes its socket.
+            response = AnnounceResponse(torrent=request.torrent, peers=())
+            sock.sendto(datagram.src_addr, datagram.src_port,
+                        RESPONSE_BASE_BYTES, payload=response)
+            return
+        self._expire(peers, seen)
         known = [
             (name, port) for name, port in peers.items()
             if name != request.peer_name
         ]
         peers[request.peer_name] = request.peer_port
+        seen[request.peer_name] = self.udp.node.clock.now()
         if len(known) > self.max_peers_returned:
             known = self._rng.sample(known, self.max_peers_returned)
         response = AnnounceResponse(torrent=request.torrent, peers=tuple(known))
@@ -78,9 +123,56 @@ class TrackerServer:
             payload=response,
         )
 
+    def _expire(self, peers: Dict[str, int], seen: Dict[str, float]) -> None:
+        if self.peer_ttl_s is None:
+            return
+        now = self.udp.node.clock.now()
+        stale = [name for name, at in seen.items()
+                 if now - at > self.peer_ttl_s]
+        for name in stale:
+            peers.pop(name, None)
+            seen.pop(name, None)
+            self.expired += 1
+
     def swarm_size(self, torrent: str) -> int:
         """Registered peers for a torrent."""
         return len(self.registry.get(torrent, {}))
+
+
+class AnnounceHandle:
+    """One in-flight client announce: ephemeral socket plus retry timer.
+
+    The handle owns its socket: it is closed when the reply arrives, when
+    the try budget runs out, or when :meth:`cancel` is called — the seed
+    code returned the raw socket "for the caller to close" and no caller
+    ever did.
+    """
+
+    def __init__(self) -> None:
+        self.tries = 0
+        self.replied = False
+        self.done = False
+        self._socket: Optional[UdpSocket] = None
+        self._timer: Optional[Timer] = None
+
+    @property
+    def active(self) -> bool:
+        """Still waiting for a reply (retries may be pending)."""
+        return not self.done
+
+    def _finish(self) -> None:
+        self.done = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if self._socket is not None:
+            self._socket.close()
+            self._socket = None
+
+    def cancel(self) -> None:
+        """Abandon the announce: stop retrying and release the socket."""
+        if not self.done:
+            self._finish()
 
 
 def announce(
@@ -91,23 +183,52 @@ def announce(
     peer_port: int,
     on_peers,
     tracker_port: int = TRACKER_PORT,
-) -> UdpSocket:
-    """Client-side announce; ``on_peers(list_of_(name, port))`` is called on reply.
+    event: str = "started",
+    retry_base_s: float = ANNOUNCE_RETRY_BASE_S,
+    retry_cap_s: float = ANNOUNCE_RETRY_CAP_S,
+    max_tries: int = ANNOUNCE_MAX_TRIES,
+) -> AnnounceHandle:
+    """Client-side announce with clock-driven retry.
 
-    Returns the ephemeral socket (caller may close it after the reply).
+    Sends the announce datagram, then retries with exponential backoff
+    (``retry_base_s`` doubling up to ``retry_cap_s``, at most ``max_tries``
+    transmissions) on the announcing node's clock until a matching reply
+    arrives. ``on_peers(list_of_(name, port))`` is called on the first
+    reply; the ephemeral socket is closed automatically when the exchange
+    ends either way. Returns an :class:`AnnounceHandle` for observation or
+    early cancellation.
     """
+    handle = AnnounceHandle()
+    clock = udp.node.clock
 
     def on_reply(sock: UdpSocket, datagram: Datagram) -> None:
         response = datagram.payload
+        if handle.done:
+            return
         if isinstance(response, AnnounceResponse) and response.torrent == torrent:
-            on_peers(list(response.peers))
+            handle.replied = True
+            handle._finish()
+            if on_peers is not None:
+                on_peers(list(response.peers))
 
     sock = udp.bind(None, on_reply)
-    sock.sendto(
-        tracker_addr,
-        tracker_port,
-        ANNOUNCE_BYTES,
-        payload=AnnounceRequest(torrent=torrent, peer_name=peer_name,
-                                peer_port=peer_port),
-    )
-    return sock
+    handle._socket = sock
+    request = AnnounceRequest(torrent=torrent, peer_name=peer_name,
+                              peer_port=peer_port, event=event)
+
+    def send_once() -> None:
+        if handle.done:
+            return
+        if handle.tries >= max_tries:
+            handle._finish()  # give up; release the ephemeral port
+            return
+        handle.tries += 1
+        sock.sendto(tracker_addr, tracker_port, ANNOUNCE_BYTES, payload=request)
+        delay = min(retry_base_s * (2 ** (handle.tries - 1)), retry_cap_s)
+        if handle._timer is None:
+            handle._timer = Timer(clock, delay, send_once)
+        else:
+            handle._timer.reset(delay)
+
+    send_once()
+    return handle

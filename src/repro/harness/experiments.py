@@ -377,6 +377,12 @@ class BitTorrentResult:
     total_downloaded_bytes: int
     #: Total engine events executed by the run (determinism fingerprint).
     events_processed: int = 0
+    #: Announces the tracker answered (retries included).
+    tracker_announces: int = 0
+    #: Live peer connections across the swarm when the run ended.
+    connections_total: int = 0
+    #: Flight-recorder events when a ``trace`` spec was supplied.
+    trace_events: List = field(default_factory=list)
 
 
 def run_bittorrent(
@@ -388,24 +394,54 @@ def run_bittorrent(
     piece_bytes: int = 65536,
     horizon_s: float = 600.0,
     choke_interval_s: float = 5.0,
+    impair: Optional[ImpairmentSpec] = None,
+    impair_tracker: Optional[ImpairmentSpec] = None,
+    trace: Optional[TraceSpec] = None,
 ) -> BitTorrentResult:
-    """A one-seed swarm on a dilated star; download times in virtual seconds."""
+    """A one-seed swarm on a dilated star; download times in virtual seconds.
+
+    ``impair`` attaches a seed-deterministic impairment chain to the seed's
+    uplink egress (the link every original piece copy crosses), so losses
+    bite the swarm's primary data source. ``impair_tracker`` impairs both
+    directions of the tracker's access link instead — the scenario the
+    announce retry exists for.
+
+    ``trace`` attaches a flight recorder: point ``bottleneck`` is the
+    seed's uplink egress, ``reverse`` the hub-to-seed direction, and
+    ``receiver`` the first leecher's ingress. Timestamps ride the first
+    leecher's clock; the ``tcp=1`` flag is ignored (a swarm has no single
+    distinguished socket).
+    """
     factor = as_tdf(tdf)
     physical = physical_for(perceived_leaf, factor)
     net = Network()
     hub = net.add_node("hub")
     leaf_count = leechers + 2  # tracker + seed
     leaves = []
+    links = []
     for index in range(leaf_count):
         leaf = net.add_node(f"h{index}")
-        net.add_link(
+        link = net.add_link(
             leaf, hub, physical.bandwidth_bps, physical.delay_s,
             queue_factory=lambda: DropTailQueue(
                 capacity_packets=default_queue_packets(perceived_leaf)
             ),
         )
         leaves.append(leaf)
+        links.append(link)
     net.finalize()
+    tracker_link, seed_link, first_leecher_link = links[0], links[1], links[2]
+    if impair is not None:
+        seed_link.interface_from(leaves[1]).set_impairments(
+            impair.build(net.sim, tdf=factor)
+        )
+    if impair_tracker is not None:
+        tracker_link.interface_from(hub).set_impairments(
+            impair_tracker.build(net.sim, tdf=factor)
+        )
+        tracker_link.interface_from(leaves[0]).set_impairments(
+            impair_tracker.build(net.sim, tdf=factor)
+        )
     vmm = Hypervisor(net.sim)
     share = 1.0 / leaf_count
     vms = [
@@ -423,6 +459,23 @@ def run_bittorrent(
         config=PeerConfig(choke_interval_s=choke_interval_s,
                           stall_timeout_s=4 * choke_interval_s),
     )
+    recorder = None
+    if trace is not None:
+        recorder = FlightRecorder(
+            capacity=trace.capacity,
+            clock=vms[2].clock,
+            name=f"swarm:{trace.point}",
+            packet_kinds=trace.kinds,
+        )
+        points = {
+            "bottleneck": seed_link.interface_from(leaves[1]),
+            "reverse": seed_link.interface_from(hub),
+            "receiver": first_leecher_link.interface_from(hub),
+        }
+        recorder.attach_interface(points[trace.point])
+        recorder.attach_clock(vms[2].clock, label="leecher0")
+        if trace.timers:
+            recorder.attach_engine(net.sim)
     swarm.start()
     clock = vms[0].clock
     step = 5.0
@@ -437,6 +490,9 @@ def run_bittorrent(
         seed_uploaded_bytes=swarm.seeds[0].bytes_uploaded,
         total_downloaded_bytes=sum(p.bytes_downloaded for p in swarm.leechers),
         events_processed=net.sim.events_processed,
+        tracker_announces=swarm.tracker.announces,
+        connections_total=sum(p.connection_count for p in swarm.peers),
+        trace_events=recorder.snapshot() if recorder is not None else [],
     )
 
 

@@ -65,7 +65,10 @@ __all__ = [
 
 #: Bump to invalidate every cached result (cache format / semantics change).
 #: 2: BulkFlowResult gained ``trace_events`` (schema-1 pickles lack it).
-CACHE_SCHEMA = 2
+#: 3: BitTorrentResult gained tracker/connection counters and
+#:    ``trace_events``; swarm protocol changes (announce retry, Have
+#:    suppression) invalidated old swarm results anyway.
+CACHE_SCHEMA = 3
 
 #: Default on-disk cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"

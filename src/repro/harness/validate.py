@@ -20,7 +20,12 @@ from ..core.dilation import NetworkProfile
 from ..core.tdf import TdfLike
 from .experiments import relative_error
 
-__all__ = ["EquivalenceReport", "check_equivalent", "assert_equivalent"]
+__all__ = [
+    "EquivalenceReport",
+    "compare_metrics",
+    "check_equivalent",
+    "assert_equivalent",
+]
 
 Metric = Union[float, int, Sequence[float]]
 Runner = Callable[[NetworkProfile, TdfLike], Mapping[str, Metric]]
@@ -80,21 +85,20 @@ def _metric_error(baseline: Metric, dilated: Metric) -> float:
     )
 
 
-def check_equivalent(
-    runner: Runner,
-    perceived: NetworkProfile,
+def compare_metrics(
+    baseline: Mapping[str, Metric],
+    dilated: Mapping[str, Metric],
     tdf: TdfLike,
     tolerance: float = 0.02,
 ) -> EquivalenceReport:
-    """Run ``runner`` at TDF 1 and at ``tdf``; compare every metric.
+    """Build an :class:`EquivalenceReport` from already-measured metrics.
 
-    The runner receives the *perceived* profile both times — it is the
-    runner's job (usually via :func:`repro.core.dilation.physical_for`) to
-    derive the physical configuration, exactly as the library's own
-    experiment runners do.
+    The cell-sweep figures land here: the parallel runner has already
+    executed the baseline and dilated cells, so assembly only needs the
+    comparison half of :func:`check_equivalent`. Metrics are compared on
+    whatever axis the caller measured them — figures pass virtual-time
+    quantities, which is the axis dilation equivalence is defined on.
     """
-    baseline = runner(perceived, 1)
-    dilated = runner(perceived, tdf)
     missing = set(baseline) ^ set(dilated)
     if missing:
         raise ValueError(f"metric sets differ between runs: {sorted(missing)}")
@@ -109,6 +113,24 @@ def check_equivalent(
     ]
     return EquivalenceReport(tdf=tdf, comparisons=comparisons,
                              tolerance=tolerance)
+
+
+def check_equivalent(
+    runner: Runner,
+    perceived: NetworkProfile,
+    tdf: TdfLike,
+    tolerance: float = 0.02,
+) -> EquivalenceReport:
+    """Run ``runner`` at TDF 1 and at ``tdf``; compare every metric.
+
+    The runner receives the *perceived* profile both times — it is the
+    runner's job (usually via :func:`repro.core.dilation.physical_for`) to
+    derive the physical configuration, exactly as the library's own
+    experiment runners do.
+    """
+    return compare_metrics(
+        runner(perceived, 1), runner(perceived, tdf), tdf, tolerance
+    )
 
 
 def assert_equivalent(

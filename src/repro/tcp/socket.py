@@ -495,12 +495,14 @@ class TcpSocket:
             self._rto_event = self.clock.call_in(self.rtt.rto, self._on_rto)
 
     def _cancel_rto(self) -> None:
+        # Keep the Event: reschedule() revives a cancelled or fired entry
+        # with a fresh seq (ordering-identical to cancel-and-recreate), so
+        # the arm/cancel cycles of short-lived swarm connections stop
+        # allocating a new Event per cycle.
         if self._rto_event is not None:
             self._rto_event.cancel()
-            self._rto_event = None
 
     def _on_rto(self) -> None:
-        self._rto_event = None
         if self.state == CLOSED:
             return
         self._retries += 1

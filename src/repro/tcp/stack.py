@@ -45,6 +45,11 @@ class TcpStack:
         self.default_options = default_options if default_options is not None else TcpOptions()
         self._connections: Dict[ConnectionKey, TcpSocket] = {}
         self._listeners: Dict[int, Listener] = {}
+        #: Local-port refcounts over ``_connections`` — ``allocate_port``
+        #: must answer "is this port free?" in O(1); scanning the demux
+        #: table made every active open O(connections), which is quadratic
+        #: across a swarm-sized node's connection setup storm.
+        self._ports_in_use: Dict[int, int] = {}
         self._next_ephemeral = EPHEMERAL_BASE
         node.register_protocol("tcp", self)
         #: Stray segments answered with RST (observability).
@@ -62,11 +67,22 @@ class TcpStack:
             self._next_ephemeral += 1
             if self._next_ephemeral >= 65536:
                 self._next_ephemeral = EPHEMERAL_BASE
-            if port not in self._listeners and not any(
-                key[0] == port for key in self._connections
-            ):
+            if port not in self._listeners and port not in self._ports_in_use:
                 return port
         raise AddressError(f"{self.node.name}: ephemeral ports exhausted")
+
+    def _bind_connection(self, key: ConnectionKey, sock: TcpSocket) -> None:
+        self._connections[key] = sock
+        self._ports_in_use[key[0]] = self._ports_in_use.get(key[0], 0) + 1
+
+    def _unbind_connection(self, key: ConnectionKey) -> None:
+        if self._connections.pop(key, None) is None:
+            return
+        count = self._ports_in_use.get(key[0], 0) - 1
+        if count <= 0:
+            self._ports_in_use.pop(key[0], None)
+        else:
+            self._ports_in_use[key[0]] = count
 
     # ----------------------------------------------------------------- opening
 
@@ -114,7 +130,7 @@ class TcpStack:
             options=options if options is not None else self.default_options,
             **callbacks,
         )
-        self._connections[key] = sock
+        self._bind_connection(key, sock)
         sock.open_active()
         return sock
 
@@ -157,7 +173,7 @@ class TcpStack:
         )
         sock._accept_callback = listener.on_accept
         key = (listener.port, packet.src, segment.src_port)
-        self._connections[key] = sock
+        self._bind_connection(key, sock)
         sock.open_passive(segment)
 
     def _send_reset(self, packet: Packet, segment: Segment) -> None:
@@ -186,7 +202,7 @@ class TcpStack:
     def forget(self, sock: TcpSocket) -> None:
         """Remove a closed socket from the demux table."""
         key = (sock.local_port, sock.remote_addr, sock.remote_port)
-        self._connections.pop(key, None)
+        self._unbind_connection(key)
 
     def connection_count(self) -> int:
         """Live connections (any state but CLOSED)."""

@@ -2,7 +2,8 @@
 
 ``repro-figure --trace <spec>`` and ``repro-trace capture`` thread one of
 these through :class:`~repro.harness.runner.CellSpec` kwargs into the
-runner (today :func:`~repro.harness.experiments.run_bulk`), which builds a
+runner (:func:`~repro.harness.experiments.run_bulk` and
+:func:`~repro.harness.experiments.run_bittorrent`), which builds a
 :class:`~repro.trace.recorder.FlightRecorder` from it inside the worker
 process and returns the captured events in its result dataclass. Like
 :class:`~repro.simnet.impairments.ImpairmentSpec`, it is a frozen
@@ -37,7 +38,7 @@ TRACE_POINTS = ("bottleneck", "reverse", "receiver")
 
 #: Runners that accept a ``trace=`` kwarg (checked by the sweep runner so
 #: ``--trace`` fails loudly on figures that cannot honour it).
-TRACEABLE_RUNNERS = frozenset({"run_bulk"})
+TRACEABLE_RUNNERS = frozenset({"run_bulk", "run_bittorrent"})
 
 
 @dataclass(frozen=True)

@@ -76,24 +76,44 @@ class TestPeerState:
         from repro.apps.bittorrent.peer import _Connection
 
         net, peer, meta = make_peer()
-        # Two fake connections: piece 0 is common, piece 5 is rare.
-        common = _Connection(socket=None, remote_have={0, 5})
-        other = _Connection(socket=None, remote_have={0})
+        peer._send = lambda conn, msg: None
+        # Two fake connections: piece 0 is common, piece 5 is rare. The
+        # replica counts are maintained incrementally as pieces arrive.
+        common = _Connection(socket=None)
+        other = _Connection(socket=None)
         peer._connections = [common, other]
-        counts = peer._availability()
-        assert counts[0] == 2
-        assert counts[5] == 1
+        peer._add_remote_pieces(common, {0, 5})
+        peer._add_remote_pieces(other, {0})
+        assert peer._avail[0] == 2
+        assert peer._avail[5] == 1
         candidates = peer._needed_from(common)
-        rarest = min(counts.get(p, 1) for p in candidates)
-        pool = [p for p in candidates if counts.get(p, 1) == rarest]
+        rarest = min(peer._avail[p] for p in candidates)
+        pool = [p for p in candidates if peer._avail[p] == rarest]
         assert pool == [5]
+
+    def test_availability_drops_with_disconnect(self):
+        from repro.apps.bittorrent.peer import _Connection
+
+        _, peer, _ = make_peer()
+        peer._send = lambda conn, msg: None
+        sock = object()
+        connection = _Connection(socket=sock)
+        peer._connections = [connection]
+        peer._by_socket[id(sock)] = connection
+        peer._add_remote_pieces(connection, {0, 5})
+        assert peer._avail[5] == 1
+        peer._drop_connection(sock)
+        assert peer._avail[5] == 0
 
     def test_needed_excludes_held_and_pending(self):
         from repro.apps.bittorrent.peer import _Connection
 
         _, peer, _ = make_peer()
-        connection = _Connection(socket=None, remote_have={0, 1, 2})
+        peer._send = lambda conn, msg: None
+        connection = _Connection(socket=None)
+        peer._connections = [connection]
         peer.have.add(0)
+        peer._add_remote_pieces(connection, {0, 1, 2})
         peer._pending[1] = connection
         assert peer._needed_from(connection) == [2]
 

@@ -1,0 +1,173 @@
+"""Tracker and peer lifecycle regression tests.
+
+The seed code had three lifecycle bugs that only bit at swarm scale:
+``announce()`` fired one datagram, never retried, and leaked its ephemeral
+socket; ``TrackerServer`` never forgot a peer; and a seed's
+``download_time()`` was an ill-defined ``completed_at - started_at`` pair.
+These tests pin the fixes at the unit level; the swarm-scale integration
+lives in ``tests/harness/test_swarm_scale_equivalence.py``.
+"""
+
+from repro.apps.bittorrent.tracker import (
+    ANNOUNCE_MAX_TRIES,
+    TrackerServer,
+    announce,
+)
+from repro.simnet.topology import build_star
+from repro.simnet.units import mbps, ms
+from repro.udp.socket import UdpStack
+
+from .test_bittorrent import make_swarm
+
+
+def _star(leaves):
+    return build_star(leaves=leaves, leaf_bandwidth_bps=mbps(10),
+                      leaf_delay_s=ms(1))
+
+
+class TestAnnounceRetry:
+    def test_retries_with_backoff_until_reply_budget_exhausted(self):
+        """With nothing listening on the tracker port, the client keeps
+        retrying on its virtual clock — 2 s base doubling to the 16 s cap —
+        then gives up and releases the socket."""
+        star = _star(2)
+        _, client = star.leaves
+        stack = UdpStack(client)
+        handle = announce(stack, star.leaves[0].name, "t", client.name, 6881,
+                          lambda peers: None)
+        assert handle.tries == 1
+        # Transmissions land at t = 0, 2, 6, 14, 30, 46 (cap), ...
+        star.network.run(until=1.0)
+        assert handle.tries == 1
+        star.network.run(until=2.5)
+        assert handle.tries == 2
+        star.network.run(until=6.5)
+        assert handle.tries == 3
+        star.network.run(until=14.5)
+        assert handle.tries == 4
+        star.network.run(until=500.0)
+        assert handle.tries == ANNOUNCE_MAX_TRIES
+        assert handle.done and not handle.replied
+        # The ephemeral socket was closed when the budget ran out.
+        assert not stack._sockets
+
+    def test_reply_stops_retries_and_closes_socket(self):
+        star = _star(3)
+        tracker_node, _, client = star.leaves
+        TrackerServer(UdpStack(tracker_node))
+        stack = UdpStack(client)
+        got = []
+        handle = announce(stack, tracker_node.name, "t", client.name, 6881,
+                          got.append)
+        star.network.run(until=30.0)
+        assert handle.replied and handle.done
+        assert handle.tries == 1  # reply beat the first retry
+        assert got == [[]]
+        assert not stack._sockets  # socket closed on reply, not leaked
+
+    def test_cancel_releases_socket(self):
+        star = _star(2)
+        _, client = star.leaves
+        stack = UdpStack(client)
+        handle = announce(stack, star.leaves[0].name, "t", client.name, 6881,
+                          lambda peers: None)
+        handle.cancel()
+        assert handle.done
+        assert not stack._sockets
+        star.network.run(until=60.0)  # no retry timer left behind
+        assert handle.tries == 1
+
+
+class TestRegistryLifecycle:
+    def test_stopped_announce_deregisters_peer(self):
+        star = _star(4)
+        tracker_node, p1, p2, p3 = star.leaves
+        tracker = TrackerServer(UdpStack(tracker_node))
+        stack1 = UdpStack(p1)
+        announce(stack1, tracker_node.name, "t", p1.name, 6881, None)
+        announce(UdpStack(p2), tracker_node.name, "t", p2.name, 6881, None)
+        star.network.run(until=1.0)
+        assert tracker.swarm_size("t") == 2
+        announce(stack1, tracker_node.name, "t", p1.name, 6881, None,
+                 event="stopped")
+        star.network.run(until=2.0)
+        assert tracker.swarm_size("t") == 1
+        assert tracker.departed == 1
+        # A later announcer must not be handed the departed peer.
+        sample = []
+        announce(UdpStack(p3), tracker_node.name, "t", p3.name, 6881,
+                 sample.append)
+        star.network.run(until=3.0)
+        assert sample == [[(p2.name, 6881)]]
+
+    def test_ttl_expires_silent_peers(self):
+        star = _star(3)
+        tracker_node, p1, p2 = star.leaves
+        tracker = TrackerServer(UdpStack(tracker_node), peer_ttl_s=60.0)
+        announce(UdpStack(p1), tracker_node.name, "t", p1.name, 6881, None)
+        star.network.run(until=1.0)
+        assert tracker.swarm_size("t") == 1
+        # 100 virtual seconds later p1 has long exceeded its TTL: the next
+        # announce prunes it and the sample excludes it.
+        star.network.run(until=100.0)
+        sample = []
+        announce(UdpStack(p2), tracker_node.name, "t", p2.name, 6881,
+                 sample.append)
+        star.network.run(until=101.0)
+        assert sample == [[]]
+        assert tracker.expired == 1
+        assert tracker.swarm_size("t") == 1  # just p2
+
+    def test_peer_stop_reaches_tracker(self):
+        net, swarm, _ = make_swarm(leechers=2)
+        swarm.start()
+        net.run(until=5.0)
+        assert swarm.tracker.swarm_size("test.torrent") == 3
+        leaver = swarm.leechers[0]
+        leaver.stop()
+        net.run(until=10.0)
+        assert swarm.tracker.departed == 1
+        assert leaver.name not in swarm.tracker.registry["test.torrent"]
+
+
+class TestDownloadTimeGuard:
+    def test_unstarted_seed_download_time_is_zero(self):
+        """The seed-era bug: an unstarted seed had ``completed_at=0.0`` and
+        ``started_at=None``, making download_time blow up or go negative
+        depending on the caller. It is 0.0 by definition now."""
+        _, swarm, _ = make_swarm(leechers=1)
+        assert swarm.seeds[0].download_time() == 0.0
+
+    def test_incomplete_leecher_download_time_is_none(self):
+        _, swarm, _ = make_swarm(leechers=1)
+        assert swarm.leechers[0].download_time() is None
+
+    def test_download_times_calls_each_peer_once(self):
+        net, swarm, _ = make_swarm(leechers=2)
+        swarm.start()
+        net.run(until=600.0)
+        assert swarm.all_complete()
+        calls = {}
+        for peer in swarm.leechers:
+            original = peer.download_time
+
+            def counted(peer=peer, original=original):
+                calls[peer.name] = calls.get(peer.name, 0) + 1
+                return original()
+
+            peer.download_time = counted
+        times = swarm.download_times()
+        assert len(times) == 2
+        assert all(count == 1 for count in calls.values())
+
+
+def test_swarm_survives_rng_shared_tracker():
+    """The tracker's sampling rng must not perturb peer rngs (guards the
+    deterministic-merge property the golden tests rely on)."""
+    def run(seed):
+        net, swarm, _ = make_swarm(leechers=3, seed_value=seed)
+        swarm.start()
+        net.run(until=600.0)
+        return swarm.download_times()
+
+    assert run(4321) == run(4321)

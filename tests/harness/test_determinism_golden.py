@@ -47,30 +47,33 @@ FIG3_GOLDEN = {
     },
 }
 
+# Recaptured for the swarm-at-scale protocol changes (announce retry with
+# backoff, Have suppression, incremental rarest-first bookkeeping) with
+# the same recipe; the numbers pin the *new* deliberate behaviour.
 FIG9_GOLDEN = {
     1: {
         "download_times_s": [
-            11.026691200000206, 11.030506400000219, 11.558536000000313,
-            11.667530400000155, 12.418359200000399, 13.08258240000046,
-            13.52552320000054, 16.90088480000075, 17.161768800000814,
-            18.342719200001188, 18.39983680000093, 18.942204000000977,
+            11.103410400000252, 11.359341600000183, 11.90994320000046,
+            12.25878320000053, 12.438618400000715, 12.565406400000557,
+            12.70218160000083, 16.902353600000847, 17.090708800000805,
+            17.20430240000093, 17.287130400000954, 17.650041600001003,
         ],
         "completed": 12,
-        "seed_uploaded_bytes": 7667712,
+        "seed_uploaded_bytes": 7733248,
         "total_downloaded_bytes": 25165824,
-        "events_processed": 183863,
+        "events_processed": 168288,
     },
     10: {
         "download_times_s": [
-            11.012179199999974, 11.026936799999993, 11.284106399999995,
-            11.666304799999955, 12.420476799999964, 12.976166399999977,
-            13.487039199999904, 17.03943839999993, 17.078245599999903,
-            18.028026399999995, 18.077234399999945, 23.362152799999965,
+            10.784804800000005, 11.091737599999997, 11.375815999999983,
+            11.548040800000008, 12.721678399999984, 13.208117599999948,
+            13.330799999999948, 13.514287199999941, 15.383483999999996,
+            17.106747200000015, 19.017360800000024, 19.498648800000026,
         ],
         "completed": 12,
-        "seed_uploaded_bytes": 8060928,
+        "seed_uploaded_bytes": 7602176,
         "total_downloaded_bytes": 25165824,
-        "events_processed": 182264,
+        "events_processed": 167816,
     },
 }
 

@@ -1,0 +1,84 @@
+"""Swarm-scale integration: lossy tracker links, dilation equivalence
+under impairment, and flight-recorder reproducibility.
+
+These are the macro-benchmark counterparts to the unit-level lifecycle
+tests in ``tests/apps/test_tracker_lifecycle.py``: the swarm must survive
+a lossy tracker link (announce retry), a dilated lossy swarm must match
+its TDF-1 baseline on the virtual-time axis (the ext5 check, shrunk to a
+test-sized swarm), and two identically-seeded traced runs must diff to
+zero divergence.
+"""
+
+import pytest
+
+from repro.core.dilation import NetworkProfile
+from repro.harness.experiments import run_bittorrent
+from repro.harness.validate import compare_metrics
+from repro.simnet.impairments import ImpairmentSpec
+from repro.simnet.units import mbps, ms
+from repro.stats.cdf import ks_distance, percentile
+from repro.trace.diff import diff_traces
+from repro.trace.spec import TraceSpec
+
+PROFILE = NetworkProfile.from_rtt(mbps(10), ms(20))
+
+
+def test_swarm_completes_with_lossy_tracker_link():
+    """30% Bernoulli loss on the tracker link in both directions: the seed
+    code's single-shot announce stranded most of the swarm; the retry
+    machinery must still assemble it and finish."""
+    result = run_bittorrent(
+        PROFILE, 1, leechers=6, file_bytes=256 * 1024, seed=99,
+        impair_tracker=ImpairmentSpec(kind="bernoulli", rate=0.3, seed=7),
+    )
+    assert result.completed == 6
+    # Lost announces were retried: the tracker fielded more announces than
+    # the 7 peers (seed + leechers) would need on a clean link.
+    assert result.tracker_announces > 7
+
+
+@pytest.mark.parametrize("impair", [
+    None,
+    ImpairmentSpec(kind="gilbert", rate=0.01, burst=4.0, seed=42),
+], ids=["clean", "gilbert"])
+def test_swarm_dilation_equivalence_mid_size(impair):
+    """A mid-size swarm (with and without a Gilbert-Elliott chain on the
+    seed's uplink) must produce the same completion-time CDF at TDF 10 as
+    at TDF 1, compared on the virtual-time axis. Swarm event ordering is
+    float-jitter sensitive, so the match is statistical: quantiles within
+    5%, like ext5's acceptance bar."""
+    runs = {}
+    for tdf in (1, 10):
+        result = run_bittorrent(
+            PROFILE, tdf, leechers=8, file_bytes=512 * 1024, seed=2718,
+            impair=impair,
+        )
+        assert result.completed == 8
+        times = sorted(result.download_times_s)
+        runs[tdf] = {
+            f"p{q}_completion_s": percentile(times, q) for q in (10, 50, 90)
+        }
+        runs[tdf]["_times"] = times
+    baseline = {k: v for k, v in runs[1].items() if not k.startswith("_")}
+    dilated = {k: v for k, v in runs[10].items() if not k.startswith("_")}
+    report = compare_metrics(baseline, dilated, tdf=10, tolerance=0.05)
+    assert report.passed, report.summary()
+    assert ks_distance(runs[1]["_times"], runs[10]["_times"]) <= 0.25
+
+
+def test_identically_seeded_traced_swarms_diverge_nowhere():
+    """Two runs of the same seeded swarm, both traced at the seed's uplink
+    bottleneck, must produce byte-identical event streams — the flight
+    recorder's first-divergence diff reports none."""
+    def traced_run():
+        return run_bittorrent(
+            PROFILE, 1, leechers=4, file_bytes=256 * 1024, seed=31415,
+            trace=TraceSpec(point="bottleneck"),
+        )
+
+    first = traced_run()
+    second = traced_run()
+    assert first.trace_events, "trace capture came back empty"
+    diff = diff_traces(first.trace_events, second.trace_events)
+    assert diff.identical, diff.render()
+    assert first.download_times_s == second.download_times_s

@@ -19,7 +19,6 @@ Two assertions, one unconditional and one gated:
 from __future__ import annotations
 
 import json
-import os
 import time
 from pathlib import Path
 
@@ -44,8 +43,8 @@ def _timed_sweep(jobs):
     return outcome, time.perf_counter() - started
 
 
-def test_parallel_sweep_speedup():
-    cpus = os.cpu_count() or 1
+def test_parallel_sweep_speedup(cpu_count):
+    cpus = cpu_count
     jobs = max(2, min(cpus, 8))
 
     sequential, sequential_s = _timed_sweep(1)

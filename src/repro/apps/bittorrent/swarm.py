@@ -26,22 +26,34 @@ __all__ = ["Swarm", "build_swarm"]
 
 @dataclass
 class Swarm:
-    """Handles to a constructed swarm."""
+    """Handles to a constructed swarm.
 
-    tracker: TrackerServer
-    seeds: List[Peer]
-    leechers: List[Peer]
+    In a sharded run each worker builds the swarm with an ``include``
+    filter, so peers (and possibly the tracker) it does not own are
+    ``None`` placeholders — every accessor here skips them, and predicates
+    like :meth:`all_complete` answer for the *locally owned* subset (the
+    sharded driver combines them with a consensus barrier).
+    """
+
+    tracker: Optional[TrackerServer]
+    seeds: List[Optional[Peer]]
+    leechers: List[Optional[Peer]]
 
     @property
     def peers(self) -> List[Peer]:
-        return self.seeds + self.leechers
+        return [p for p in self.seeds + self.leechers if p is not None]
 
     def start(self, stagger_s: float = 0.0) -> None:
         """Start every peer; leechers may be staggered to avoid a
         thundering-herd announce (seeds always start first)."""
         for seed in self.seeds:
-            seed.start()
+            if seed is not None:
+                seed.start()
+        # The stagger index comes from the full roster so a sharded
+        # worker's leechers start at the same times as in one process.
         for index, leecher in enumerate(self.leechers):
+            if leecher is None:
+                continue
             delay = stagger_s * index
             if delay > 0:
                 leecher.node.clock.call_in(delay, leecher.start)
@@ -49,12 +61,18 @@ class Swarm:
                 leecher.start()
 
     def all_complete(self) -> bool:
-        """Whether every leecher finished its download."""
-        return all(peer.complete for peer in self.leechers)
+        """Whether every (locally owned) leecher finished its download."""
+        return all(
+            peer.complete for peer in self.leechers if peer is not None
+        )
 
     def download_times(self) -> List[float]:
         """Completion times (local/virtual seconds) of finished leechers."""
-        times = (peer.download_time() for peer in self.leechers)
+        times = (
+            peer.download_time()
+            for peer in self.leechers
+            if peer is not None
+        )
         return [t for t in times if t is not None]
 
 
@@ -67,25 +85,40 @@ def build_swarm(
     config: Optional[PeerConfig] = None,
     tcp_options: Optional[TcpOptions] = None,
     on_leecher_complete: Optional[Callable[[Peer], None]] = None,
+    include: Optional[Callable[[Node], bool]] = None,
 ) -> Swarm:
     """Install tracker and peers on prepared nodes.
 
     Each node gets fresh TCP/UDP stacks; per-peer RNGs are derived from the
     master ``rng`` so swarm randomness is reproducible yet per-peer
     independent.
+
+    ``include`` is the sharded runner's ownership filter: excluded nodes
+    get a ``None`` placeholder instead of a peer (or tracker). The master
+    RNG is drawn for *every* roster slot regardless, so each constructed
+    peer receives exactly the seed it would in a single-process build.
     """
-    tracker_udp = UdpStack(tracker_node)
-    tracker = TrackerServer(
-        tracker_udp, rng=random.Random(rng.getrandbits(32))
+
+    def wanted(node: Node) -> bool:
+        return include is None or include(node)
+
+    tracker_seed = rng.getrandbits(32)
+    tracker = (
+        TrackerServer(UdpStack(tracker_node), rng=random.Random(tracker_seed))
+        if wanted(tracker_node)
+        else None
     )
 
-    def make_peer(node: Node, seed: bool) -> Peer:
+    def make_peer(node: Node, seed: bool) -> Optional[Peer]:
+        peer_seed = rng.getrandbits(32)  # always drawn: keeps streams aligned
+        if not wanted(node):
+            return None
         return Peer(
             tcp=TcpStack(node, default_options=tcp_options),
             udp=UdpStack(node),
             meta=meta,
             tracker_addr=tracker_node.name,
-            rng=random.Random(rng.getrandbits(32)),
+            rng=random.Random(peer_seed),
             seed=seed,
             config=config,
             tcp_options=tcp_options,

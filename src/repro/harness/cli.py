@@ -106,6 +106,16 @@ def _build_parser() -> argparse.ArgumentParser:
         default="traces",
         help="directory for --trace recordings (default: traces)",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        default=1,
+        help="split each shardable cell across N worker processes with the "
+             "conservative sharded engine (default: 1 = single-process); "
+             "each cell then uses N processes, so budget jobs*shards "
+             "against the core count",
+    )
     return parser
 
 
@@ -156,6 +166,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("--trace cannot be combined with --profile-engine "
               "(the profiled path bypasses the cell sweep)", file=sys.stderr)
         return 2
+    if args.shards < 1:
+        print(f"--shards must be >= 1: {args.shards}", file=sys.stderr)
+        return 2
+    if args.profile_engine and args.shards != 1:
+        print("--shards cannot be combined with --profile-engine "
+              "(the profiled path bypasses the cell sweep)", file=sys.stderr)
+        return 2
     if args.profile_engine:
         return _run_profiled(requested, args)
 
@@ -177,6 +194,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             cache_dir=cache_dir,
             collect_timings=args.timings,
             trace=trace_spec,
+            shards=args.shards,
         )
     except ValueError as error:
         print(str(error), file=sys.stderr)

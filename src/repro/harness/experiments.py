@@ -24,9 +24,11 @@ from ..apps.iperf import IperfClient, IperfServer
 from ..core.dilation import NetworkProfile, physical_for
 from ..core.tdf import TdfLike, as_tdf
 from ..core.vmm import Hypervisor
+from ..parallel.shard import InProcessShard, run_sharded
+from ..simnet.errors import ConfigurationError
 from ..simnet.impairments import ImpairmentSpec
 from ..simnet.queues import DropTailQueue
-from ..simnet.topology import Network, build_dumbbell
+from ..simnet.topology import Network, build_dumbbell, partition_network
 from ..simnet.trace import PacketTrace
 from ..trace.recorder import FlightRecorder
 from ..trace.spec import TraceSpec
@@ -122,6 +124,9 @@ class BulkFlowResult:
     checksum_drops: int = 0
     #: Flight-recorder events (empty unless the run was given a TraceSpec).
     trace_events: List = field(default_factory=list)
+    #: Per-shard barrier accounting when the run was sharded (empty for
+    #: single-process runs; excluded from figure reports).
+    shard_stats: List = field(default_factory=list)
 
 
 def run_bulk(
@@ -137,6 +142,8 @@ def run_bulk(
     mss: int = 1460,
     impair: Optional[ImpairmentSpec] = None,
     trace: Optional[TraceSpec] = None,
+    shards: int = 1,
+    _shard=None,
 ) -> BulkFlowResult:
     """Bulk TCP over a dilated dumbbell; goodput in virtual bits/second.
 
@@ -158,7 +165,29 @@ def run_bulk(
     warmup (so a dilated trace and its baseline's align from event zero).
     ``trace.point == "receiver"`` cannot be combined with
     ``collect_interarrivals`` (both claim the same interface's recorder).
+
+    ``shards=2`` splits the dumbbell at the bottleneck link — senders and
+    left router in one worker process, receivers and right router in the
+    other — and runs the two engines under the conservative barrier of
+    :mod:`repro.parallel.shard`. The merged result is event-for-event
+    identical to ``shards=1``. ``_shard`` is internal: the context a
+    sharded worker executes under.
     """
+    if shards != 1 and _shard is None:
+        _check_sharded_trace(trace)
+        results, stats = run_sharded(
+            "run_bulk",
+            dict(
+                perceived=perceived, tdf=tdf, duration_s=duration_s,
+                flows=flows, flavor=flavor, queue_packets=queue_packets,
+                warmup_s=warmup_s,
+                collect_interarrivals=collect_interarrivals,
+                sack=sack, mss=mss, impair=impair, trace=trace,
+            ),
+            shards,
+            _bulk_assignment(flows, shards),
+        )
+        return _merge_bulk(results, stats)
     factor = as_tdf(tdf)
     physical = physical_for(perceived, factor)
     access_physical = physical_for(
@@ -181,8 +210,11 @@ def run_bulk(
         queue_factory=lambda: DropTailQueue(capacity_packets=queue),
     )
     net = bell.network
+    ctx = _shard if _shard is not None else InProcessShard(net)
+    if _shard is not None:
+        ctx.localize(net, partition_network(net, ctx.shards, ctx.assignment))
     bottleneck_egress = bell.bottleneck.interface_from(bell.router_left)
-    if impair is not None:
+    if impair is not None and ctx.owns(bell.router_left):
         bottleneck_egress.set_impairments(impair.build(net.sim, tdf=factor))
     vmm = Hypervisor(net.sim)
     share = 1.0 / (2 * flows)
@@ -201,7 +233,14 @@ def run_bulk(
                            node=bell.receivers[index])
         if index == 0:
             receiver_vm = vm
-        servers.append(IperfServer(TcpStack(bell.receivers[index]), options=options))
+        # Stacks and applications only exist on the shard that owns the
+        # node (positional None placeholders elsewhere); VMs exist in
+        # every worker because their creation schedules nothing.
+        servers.append(
+            IperfServer(TcpStack(bell.receivers[index]), options=options)
+            if ctx.owns(bell.receivers[index])
+            else None
+        )
         # Never let the transfer finish inside the measurement window: queue
         # twice what the perceived path could move in the whole run.
         transfer_bytes = int(perceived.bandwidth_bps * duration_s / 8 * 2) + (1 << 20)
@@ -213,15 +252,19 @@ def run_bulk(
                 options=options,
                 flow_id=f"flow{index}",
             )
+            if ctx.owns(bell.senders[index])
+            else None
         )
     packet_trace = None
-    if collect_interarrivals:
+    if collect_interarrivals and ctx.owns(bell.receivers[0]):
         packet_trace = PacketTrace(
             bell.receiver_links[0].b_to_a, kinds=("rx",), flow_id="flow0"
         )
     assert receiver_vm is not None
     recorder = None
     if trace is not None:
+        if trace.timers and ctx.shards != 1:
+            _check_sharded_trace(trace)
         recorder = FlightRecorder(
             capacity=trace.capacity,
             clock=receiver_vm.clock,
@@ -233,51 +276,70 @@ def run_bulk(
             "reverse": bell.bottleneck.interface_from(bell.router_right),
             "receiver": bell.receiver_links[0].b_to_a,
         }
-        recorder.attach_interface(points[trace.point])
-        recorder.attach_clock(receiver_vm.clock, label="rcv0")
+        # Each attachment point belongs to exactly one node; attach only
+        # on its owning shard so the merged trace has no duplicates.
+        point_nodes = {
+            "bottleneck": bell.router_left,
+            "reverse": bell.router_right,
+            "receiver": bell.receivers[0],
+        }
+        if ctx.owns(point_nodes[trace.point]):
+            recorder.attach_interface(points[trace.point])
+        if ctx.owns(bell.receivers[0]):
+            recorder.attach_clock(receiver_vm.clock, label="rcv0")
         if trace.timers:
             recorder.attach_engine(net.sim)
     for client in clients:
-        client.start()
-    if recorder is not None and trace.tcp:
+        if client is not None:
+            client.start()
+    if recorder is not None and trace.tcp and clients[0] is not None:
         recorder.attach_socket(clients[0].socket)
     warmup_bytes = [0] * flows
     if warmup_s > 0:
-        net.run(until=receiver_vm.clock.to_physical(warmup_s))
-        warmup_bytes = [server.total_bytes for server in servers]
+        ctx.advance(receiver_vm.clock.to_physical(warmup_s))
+        warmup_bytes = [
+            server.total_bytes if server is not None else 0
+            for server in servers
+        ]
         if packet_trace is not None:
             packet_trace.clear()
-    net.run(until=receiver_vm.clock.to_physical(duration_s))
+    ctx.advance(receiver_vm.clock.to_physical(duration_s))
     span = duration_s - warmup_s
     per_flow = [
-        (server.total_bytes - start) * 8 / span
+        (server.total_bytes - start) * 8 / span if server is not None else 0.0
         for server, start in zip(servers, warmup_bytes)
     ]
     delivered = sum(server.total_bytes - start
-                    for server, start in zip(servers, warmup_bytes))
+                    for server, start in zip(servers, warmup_bytes)
+                    if server is not None)
     interarrivals: List[float] = []
     if packet_trace is not None:
         interarrivals = packet_trace.interarrivals(receiver_vm.clock)
-    first = clients[0].socket
+    live = [c for c in clients if c is not None]
+    first = clients[0].socket if clients[0] is not None else None
     return BulkFlowResult(
         goodput_bps=sum(per_flow),
         per_flow_goodput_bps=per_flow,
         delivered_bytes=delivered,
-        retransmits=sum(c.socket.retransmits for c in clients if c.socket),
-        timeouts=sum(c.socket.timeouts for c in clients if c.socket),
+        retransmits=sum(c.socket.retransmits for c in live if c.socket),
+        timeouts=sum(c.socket.timeouts for c in live if c.socket),
         srtt=first.rtt.srtt if first is not None else None,
-        segments_sent=sum(c.socket.segments_sent for c in clients if c.socket),
+        segments_sent=sum(c.socket.segments_sent for c in live if c.socket),
         interarrivals=interarrivals,
         events_processed=net.sim.events_processed,
-        dupacks=sum(c.socket.dupacks_received for c in clients if c.socket),
+        dupacks=sum(c.socket.dupacks_received for c in live if c.socket),
         fast_retransmits=sum(
-            c.socket.fast_retransmits for c in clients if c.socket
+            c.socket.fast_retransmits for c in live if c.socket
         ),
         fast_recoveries=sum(
-            c.socket.fast_recoveries for c in clients if c.socket
+            c.socket.fast_recoveries for c in live if c.socket
         ),
         bottleneck_drops=dict(bottleneck_egress.drops),
-        checksum_drops=sum(server.stack.checksum_drops for server in servers),
+        checksum_drops=sum(
+            server.stack.checksum_drops
+            for server in servers
+            if server is not None
+        ),
         trace_events=recorder.snapshot() if recorder is not None else [],
     )
 
@@ -383,6 +445,19 @@ class BitTorrentResult:
     connections_total: int = 0
     #: Flight-recorder events when a ``trace`` spec was supplied.
     trace_events: List = field(default_factory=list)
+    #: Per-shard barrier accounting when the run was sharded (empty for
+    #: single-process runs; excluded from figure reports).
+    shard_stats: List = field(default_factory=list)
+
+
+def _salt_fraction(index: int) -> float:
+    """Deterministic per-leaf fraction in [0, 1) for ``delay_salt``.
+
+    Knuth's multiplicative hash spreads consecutive indices across the
+    unit interval so no two leaves (and no arithmetic combination of two
+    leaf delays) collide to the same float offset.
+    """
+    return ((index * 2654435761) & 0xFFFFFFFF) / 2.0 ** 32
 
 
 def run_bittorrent(
@@ -397,6 +472,9 @@ def run_bittorrent(
     impair: Optional[ImpairmentSpec] = None,
     impair_tracker: Optional[ImpairmentSpec] = None,
     trace: Optional[TraceSpec] = None,
+    delay_salt: float = 0.0,
+    shards: int = 1,
+    _shard=None,
 ) -> BitTorrentResult:
     """A one-seed swarm on a dilated star; download times in virtual seconds.
 
@@ -411,7 +489,42 @@ def run_bittorrent(
     ``receiver`` the first leecher's ingress. Timestamps ride the first
     leecher's clock; the ``tcp=1`` flag is ignored (a swarm has no single
     distinguished socket).
+
+    ``delay_salt`` spreads the leaf link propagation delays by a relative
+    per-leaf offset (leaf ``i`` gets ``delay * (1 + delay_salt * frac(i))``
+    with a fixed hash fraction). The default 0.0 keeps the historical
+    perfectly-symmetric star. A tiny salt (``1e-6`` ≈ tens of nanoseconds
+    at 10 ms) breaks the float-time phase locking a symmetric swarm falls
+    into, where packets from different leaves reach the hub at *bit-equal*
+    timestamps; those ties are resolved by unbounded event-creation
+    genealogy in a single process, which no bounded cross-shard merge key
+    can reproduce (see :mod:`repro.parallel.shard`).
+
+    ``shards=N`` keeps the hub, tracker and seed in worker 0 and stripes
+    the leechers over the remaining workers, synchronised by the
+    conservative barrier of :mod:`repro.parallel.shard` with the star
+    links' propagation delay as lookahead. Aggregate results (event
+    counts, byte totals, announce counts) merge exactly for any
+    configuration; per-packet event order — and hence download times — is
+    event-for-event identical to ``shards=1`` when the topology is free of
+    cross-leaf timestamp ties, which ``delay_salt`` guarantees. ``_shard``
+    is internal.
     """
+    if shards != 1 and _shard is None:
+        _check_sharded_trace(trace)
+        results, stats = run_sharded(
+            "run_bittorrent",
+            dict(
+                perceived_leaf=perceived_leaf, tdf=tdf, leechers=leechers,
+                file_bytes=file_bytes, seed=seed, piece_bytes=piece_bytes,
+                horizon_s=horizon_s, choke_interval_s=choke_interval_s,
+                impair=impair, impair_tracker=impair_tracker, trace=trace,
+                delay_salt=delay_salt,
+            ),
+            shards,
+            _swarm_assignment(leechers, shards),
+        )
+        return _merge_bittorrent(results, stats)
     factor = as_tdf(tdf)
     physical = physical_for(perceived_leaf, factor)
     net = Network()
@@ -422,7 +535,8 @@ def run_bittorrent(
     for index in range(leaf_count):
         leaf = net.add_node(f"h{index}")
         link = net.add_link(
-            leaf, hub, physical.bandwidth_bps, physical.delay_s,
+            leaf, hub, physical.bandwidth_bps,
+            physical.delay_s * (1.0 + delay_salt * _salt_fraction(index)),
             queue_factory=lambda: DropTailQueue(
                 capacity_packets=default_queue_packets(perceived_leaf)
             ),
@@ -430,18 +544,26 @@ def run_bittorrent(
         leaves.append(leaf)
         links.append(link)
     net.finalize()
+    ctx = _shard if _shard is not None else InProcessShard(net)
+    if _shard is not None:
+        ctx.localize(net, partition_network(net, ctx.shards, ctx.assignment))
     tracker_link, seed_link, first_leecher_link = links[0], links[1], links[2]
-    if impair is not None:
+    # Impairment chains attach to an egress, so they belong to the shard
+    # that owns the transmitting node (all of these sit in shard 0 under
+    # the standard assignment; the gates keep custom splits honest).
+    if impair is not None and ctx.owns(leaves[1]):
         seed_link.interface_from(leaves[1]).set_impairments(
             impair.build(net.sim, tdf=factor)
         )
     if impair_tracker is not None:
-        tracker_link.interface_from(hub).set_impairments(
-            impair_tracker.build(net.sim, tdf=factor)
-        )
-        tracker_link.interface_from(leaves[0]).set_impairments(
-            impair_tracker.build(net.sim, tdf=factor)
-        )
+        if ctx.owns(hub):
+            tracker_link.interface_from(hub).set_impairments(
+                impair_tracker.build(net.sim, tdf=factor)
+            )
+        if ctx.owns(leaves[0]):
+            tracker_link.interface_from(leaves[0]).set_impairments(
+                impair_tracker.build(net.sim, tdf=factor)
+            )
     vmm = Hypervisor(net.sim)
     share = 1.0 / leaf_count
     vms = [
@@ -458,9 +580,12 @@ def run_bittorrent(
         rng=random.Random(seed),
         config=PeerConfig(choke_interval_s=choke_interval_s,
                           stall_timeout_s=4 * choke_interval_s),
+        include=ctx.owns if _shard is not None else None,
     )
     recorder = None
     if trace is not None:
+        if trace.timers and ctx.shards != 1:
+            _check_sharded_trace(trace)
         recorder = FlightRecorder(
             capacity=trace.capacity,
             clock=vms[2].clock,
@@ -472,25 +597,44 @@ def run_bittorrent(
             "reverse": seed_link.interface_from(hub),
             "receiver": first_leecher_link.interface_from(hub),
         }
-        recorder.attach_interface(points[trace.point])
-        recorder.attach_clock(vms[2].clock, label="leecher0")
+        point_nodes = {
+            "bottleneck": leaves[1],
+            "reverse": hub,
+            "receiver": hub,
+        }
+        if ctx.owns(point_nodes[trace.point]):
+            recorder.attach_interface(points[trace.point])
+        if ctx.owns(leaves[2]):
+            recorder.attach_clock(vms[2].clock, label="leecher0")
         if trace.timers:
             recorder.attach_engine(net.sim)
     swarm.start()
     clock = vms[0].clock
     step = 5.0
     elapsed = 0.0
-    while not swarm.all_complete() and elapsed < horizon_s:
+    # ``all_agree`` makes the completion predicate global, so every shard
+    # takes the same number of 5-virtual-second strides (shards=1: the
+    # in-process context reduces it to the local predicate unchanged).
+    while not ctx.all_agree(swarm.all_complete()) and elapsed < horizon_s:
         elapsed = min(horizon_s, elapsed + step)
-        net.run(until=clock.to_physical(elapsed))
+        ctx.advance(clock.to_physical(elapsed))
+    seed_peer = swarm.seeds[0]
     return BitTorrentResult(
         download_times_s=sorted(swarm.download_times()),
-        completed=sum(1 for p in swarm.leechers if p.complete),
+        completed=sum(
+            1 for p in swarm.leechers if p is not None and p.complete
+        ),
         leechers=leechers,
-        seed_uploaded_bytes=swarm.seeds[0].bytes_uploaded,
-        total_downloaded_bytes=sum(p.bytes_downloaded for p in swarm.leechers),
+        seed_uploaded_bytes=(
+            seed_peer.bytes_uploaded if seed_peer is not None else 0
+        ),
+        total_downloaded_bytes=sum(
+            p.bytes_downloaded for p in swarm.leechers if p is not None
+        ),
         events_processed=net.sim.events_processed,
-        tracker_announces=swarm.tracker.announces,
+        tracker_announces=(
+            swarm.tracker.announces if swarm.tracker is not None else 0
+        ),
         connections_total=sum(p.connection_count for p in swarm.peers),
         trace_events=recorder.snapshot() if recorder is not None else [],
     )
@@ -873,6 +1017,140 @@ def run_cpu_task(
         virtual_duration_s=done["virtual"],
         physical_duration_s=done["physical"],
         perceived_speedup=nominal / done["virtual"],
+    )
+
+
+# ================================================================== sharding
+
+
+def _check_sharded_trace(trace: Optional[TraceSpec]) -> None:
+    """Reject trace options that cannot survive a multi-engine run."""
+    if trace is not None and trace.timers:
+        raise ConfigurationError(
+            "trace timers=1 records engine-internal timer events and "
+            "cannot be combined with shards > 1: each worker has its own "
+            "engine, so the merged timer stream would be meaningless"
+        )
+
+
+def _bulk_assignment(flows: int, shards: int) -> Dict[str, int]:
+    """Split the dumbbell at the bottleneck: senders left, receivers right.
+
+    The bottleneck link is the topology's only positive-lookahead cut, so
+    a dumbbell supports exactly two shards.
+    """
+    if shards != 2:
+        raise ConfigurationError(
+            "run_bulk supports exactly 2 shards (the dumbbell's only "
+            f"partitionable cut is the bottleneck link); got {shards}"
+        )
+    assignment = {"rL": 0, "rR": 1}
+    for index in range(flows):
+        assignment[f"s{index}"] = 0
+        assignment[f"d{index}"] = 1
+    return assignment
+
+
+def _swarm_assignment(leechers: int, shards: int) -> Dict[str, int]:
+    """Hub + tracker + seed in shard 0, leechers striped over the rest.
+
+    Shard 0 already carries the hub (which forwards every packet in the
+    star) plus the tracker and seed, so the stripe pattern gives it half
+    as many leechers as each other shard.
+    """
+    if shards < 2:
+        raise ConfigurationError(
+            f"a sharded swarm needs at least 2 shards, got {shards}"
+        )
+    if leechers < shards - 1:
+        raise ConfigurationError(
+            f"cannot spread {leechers} leechers over {shards} shards: "
+            "every shard above 0 needs at least one leecher"
+        )
+    assignment = {"hub": 0, "h0": 0, "h1": 0}
+    pattern = [0] + [shard for shard in range(1, shards) for _ in (0, 1)]
+    for index in range(leechers):
+        assignment[f"h{index + 2}"] = pattern[index % len(pattern)]
+    return assignment
+
+
+def _merge_trace_events(results: List) -> List:
+    """Interleave per-shard recorder snapshots into one physical timeline.
+
+    Each attachment point records on exactly one shard, so this is a
+    k-way merge of disjoint streams; the sort is stable, preserving each
+    shard's own recording order for same-instant events.
+    """
+    events = [event for result in results for event in result.trace_events]
+    events.sort(key=lambda event: event.physical_time)
+    return events
+
+
+def _merge_bulk(results: List[BulkFlowResult],
+                stats: List[Dict]) -> BulkFlowResult:
+    """Combine per-shard bulk results into the single-process equivalent.
+
+    Every field is owned by exactly one shard (a flow's server lives on
+    one worker; the rest report the identity element), so all the sums
+    below are float- and int-exact — the merged result equals the
+    ``shards=1`` result bit for bit.
+    """
+    flows = len(results[0].per_flow_goodput_bps)
+    per_flow = [0.0] * flows
+    drops: Dict[str, int] = {}
+    interarrivals: List[float] = []
+    srtt = None
+    for result in results:
+        for index, value in enumerate(result.per_flow_goodput_bps):
+            per_flow[index] += value
+        for reason, count in result.bottleneck_drops.items():
+            drops[reason] = drops.get(reason, 0) + count
+        interarrivals.extend(result.interarrivals)
+        if srtt is None:
+            srtt = result.srtt
+    return BulkFlowResult(
+        goodput_bps=sum(per_flow),
+        per_flow_goodput_bps=per_flow,
+        delivered_bytes=sum(r.delivered_bytes for r in results),
+        retransmits=sum(r.retransmits for r in results),
+        timeouts=sum(r.timeouts for r in results),
+        srtt=srtt,
+        segments_sent=sum(r.segments_sent for r in results),
+        interarrivals=interarrivals,
+        events_processed=sum(r.events_processed for r in results),
+        dupacks=sum(r.dupacks for r in results),
+        fast_retransmits=sum(r.fast_retransmits for r in results),
+        fast_recoveries=sum(r.fast_recoveries for r in results),
+        bottleneck_drops=drops,
+        checksum_drops=sum(r.checksum_drops for r in results),
+        trace_events=_merge_trace_events(results),
+        shard_stats=list(stats),
+    )
+
+
+def _merge_bittorrent(results: List[BitTorrentResult],
+                      stats: List[Dict]) -> BitTorrentResult:
+    """Combine per-shard swarm results into the single-process equivalent.
+
+    Each peer (and the tracker) exists on exactly one shard; the others
+    contribute zeros or empty lists, so sums and the sorted download-time
+    concatenation reproduce the ``shards=1`` result exactly.
+    """
+    return BitTorrentResult(
+        download_times_s=sorted(
+            t for r in results for t in r.download_times_s
+        ),
+        completed=sum(r.completed for r in results),
+        leechers=results[0].leechers,
+        seed_uploaded_bytes=sum(r.seed_uploaded_bytes for r in results),
+        total_downloaded_bytes=sum(
+            r.total_downloaded_bytes for r in results
+        ),
+        events_processed=sum(r.events_processed for r in results),
+        tracker_announces=sum(r.tracker_announces for r in results),
+        connections_total=sum(r.connections_total for r in results),
+        trace_events=_merge_trace_events(results),
+        shard_stats=list(stats),
     )
 
 

@@ -47,6 +47,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
+from ..parallel.shard import SHARDABLE_RUNNERS, shard_cell_kwargs
 from ..trace.spec import TRACEABLE_RUNNERS, TraceSpec
 from .report import FigureResult, Table
 
@@ -68,7 +69,9 @@ __all__ = [
 #: 3: BitTorrentResult gained tracker/connection counters and
 #:    ``trace_events``; swarm protocol changes (announce retry, Have
 #:    suppression) invalidated old swarm results anyway.
-CACHE_SCHEMA = 3
+#: 4: BulkFlowResult / BitTorrentResult gained ``shard_stats`` (schema-3
+#:    pickles lack the field and would break attribute access on merge).
+CACHE_SCHEMA = 4
 
 #: Default on-disk cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -200,7 +203,13 @@ def execute_cell(spec: CellSpec,
 
     with profiled() as profiler:
         value = fn(**spec.kwargs)
-    return value, profiler.events
+    events = profiler.events
+    # Sharded cells run their engines in worker processes the in-process
+    # profiler cannot observe; the workers report their executed-event
+    # counts through ``shard_stats``, so fold those in.
+    for stats in getattr(value, "shard_stats", None) or []:
+        events += stats["events_processed"]
+    return value, events
 
 
 #: Process-local memo for the legacy in-process path (``run_figure``):
@@ -416,6 +425,32 @@ def _apply_trace(cells: List[CellSpec],
     return out, traced
 
 
+def _apply_shards(cells: List[CellSpec],
+                  shards: int) -> Tuple[List[CellSpec], int]:
+    """Thread ``shards`` into every shardable cell; returns (cells, count).
+
+    Like :func:`_apply_trace`, a sharded cell is a *different* cell from
+    its single-process twin (the token covers kwargs), so sharded results
+    never alias single-process cache entries — even though the merged
+    values are equivalent, their ``shard_stats`` differ (and sharded
+    swarm cells run with the default determinism ``delay_salt``, see
+    :func:`repro.parallel.shard.shard_cell_kwargs`). Non-shardable
+    runners pass through and run single-process.
+    """
+    out: List[CellSpec] = []
+    sharded = 0
+    for spec in cells:
+        if spec.runner in SHARDABLE_RUNNERS:
+            out.append(CellSpec(
+                spec.figure_id, spec.key, spec.runner,
+                shard_cell_kwargs(spec.runner, spec.kwargs, shards),
+            ))
+            sharded += 1
+        else:
+            out.append(spec)
+    return out, sharded
+
+
 def _recorder_events(spec: CellSpec, value: Any) -> Optional[int]:
     """Captured-event count for a traced cell's result (None if untraced)."""
     if spec.kwargs.get("trace") is None:
@@ -438,6 +473,7 @@ def run_sweep(
     cache_dir: Optional[str] = DEFAULT_CACHE_DIR,
     collect_timings: bool = False,
     trace: Optional[TraceSpec] = None,
+    shards: int = 1,
 ) -> SweepOutcome:
     """Execute figures as a deduplicated cell sweep and merge in spec order.
 
@@ -451,6 +487,14 @@ def run_sweep(
     in ``SweepOutcome.traces`` in spec order — worker completion order
     never leaks into the merge, so the traces are ``--jobs``-independent.
     Requesting a trace for figures with no traceable cells is an error.
+
+    ``shards`` splits each shardable cell (see
+    :data:`repro.parallel.shard.SHARDABLE_RUNNERS`) across that many
+    worker processes with the conservative sharded engine; non-shardable
+    cells run single-process as before. Each cell then occupies ``shards``
+    processes, multiplying with ``--jobs`` — budget ``jobs * shards``
+    against the machine's cores. Requesting shards for figures with no
+    shardable cells is an error.
     """
     from .figures import CELL_MODEL
 
@@ -475,6 +519,13 @@ def run_sweep(
                 raise ValueError(
                     f"experiment {figure_id!r} has no traceable cells "
                     f"(traceable runners: {', '.join(sorted(TRACEABLE_RUNNERS))})"
+                )
+        if shards != 1:
+            cells, sharded = _apply_shards(cells, shards)
+            if sharded == 0:
+                raise ValueError(
+                    f"experiment {figure_id!r} has no shardable cells "
+                    f"(shardable runners: {', '.join(sorted(SHARDABLE_RUNNERS))})"
                 )
         per_figure[figure_id] = cells
         for spec in cells:

@@ -1,0 +1,15 @@
+"""Sharded conservative parallel execution of the simulation engine."""
+
+from .shard import (
+    SHARDABLE_RUNNERS,
+    InProcessShard,
+    ShardContext,
+    run_sharded,
+)
+
+__all__ = [
+    "SHARDABLE_RUNNERS",
+    "InProcessShard",
+    "ShardContext",
+    "run_sharded",
+]

@@ -358,17 +358,34 @@ class Simulator:
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next live event, or ``None`` if the queue is empty.
 
-        Dead heap heads are discarded on the way, so the cost is amortised
-        O(log n) rather than a scan of the whole queue.
+        The shard barrier polls this between every synchronization window,
+        so the common case — a live head — must stay a single index plus
+        compare, O(1). Dead heads are reaped permanently (popped, not
+        skipped) in :meth:`_peek_slow`, so repeated polls never re-scan the
+        same lazily-cancelled entries.
         """
         queue = self._queue
-        while queue:
+        if queue:
             entry = queue[0]
             if entry[1] == entry[2].seq:
                 return entry[0]
-            heapq.heappop(queue)
-            self.dead_entries_reaped += 1
+            return self._peek_slow()
         return None
+
+    def _peek_slow(self) -> Optional[float]:
+        """Pop dead heads until a live one surfaces (amortised O(log n))."""
+        queue = self._queue
+        reaped = 0
+        result: Optional[float] = None
+        while queue:
+            entry = queue[0]
+            if entry[1] == entry[2].seq:
+                result = entry[0]
+                break
+            heapq.heappop(queue)
+            reaped += 1
+        self.dead_entries_reaped += reaped
+        return result
 
     def heap_len(self) -> int:
         """Raw heap length including dead entries (observability)."""

@@ -103,6 +103,14 @@ class Interface:
         self.tx_packets = 0
         self.rx_bytes = 0
         self.rx_packets = 0
+        #: Cross-shard egress: when the peer interface lives in another
+        #: worker process, the sharded runner installs a
+        #: :class:`repro.parallel.shard.ShardChannel` here and finished
+        #: transmissions are handed to it (with the propagation delay
+        #: already applied) instead of being scheduled on the local engine.
+        #: ``None`` — the only state in a single-process run — costs one
+        #: attribute check per transmitted packet.
+        self.egress_channel = None
 
     def connect(self, peer: "Interface") -> None:
         """Bind the remote endpoint; both directions are bound symmetrically."""
@@ -210,7 +218,14 @@ class Interface:
         delay = self.delay_s
         if self.jitter_s > 0 and self._jitter_rng is not None:
             delay += self._jitter_rng.uniform(-self.jitter_s, self.jitter_s)
-        self.sim.schedule_transient(delay, peer._deliver, packet)
+        channel = self.egress_channel
+        if channel is not None:
+            # The peer lives in another shard: ship (arrival time, packet)
+            # to its engine. Jitter was drawn above, sender-side, so the
+            # arrival time is final and deterministic.
+            channel.send(self.sim.now + delay, packet)
+        else:
+            self.sim.schedule_transient(delay, peer._deliver, packet)
         self._transmit_next()
 
     def _deliver(self, packet: Packet) -> None:

@@ -19,6 +19,10 @@ from .routing import install_routes
 
 __all__ = [
     "Network",
+    "CutEdge",
+    "TopologyPartition",
+    "partition_network",
+    "suggest_assignment",
     "build_dumbbell",
     "build_star",
     "build_chain",
@@ -97,6 +101,176 @@ class Network:
     def run(self, until: Optional[float] = None) -> None:
         """Convenience passthrough to the simulator."""
         self.sim.run(until=until)
+
+
+# ----------------------------------------------------------- partitioning
+
+
+@dataclass(frozen=True)
+class CutEdge:
+    """One directed link crossing a shard boundary.
+
+    The sending interface (``src_node``'s egress toward ``dst_node``)
+    lives in ``from_shard``; packets finishing serialisation there are
+    handed to a cross-shard channel instead of being scheduled locally,
+    and re-enter the destination shard at the peer interface after the
+    link's propagation delay. ``channel_id`` is the edge's deterministic
+    identity — assigned in link construction order, forward direction
+    first — and doubles as the tie-key when same-time arrivals from
+    different channels are merged into the destination engine.
+    """
+
+    channel_id: int
+    src_node: str
+    dst_node: str
+    from_shard: int
+    to_shard: int
+    #: Conservative lookahead contributed by this edge: the *minimum*
+    #: propagation delay a packet entering the channel can experience
+    #: (base delay minus the worst-case jitter excursion).
+    lookahead_s: float
+
+
+@dataclass(frozen=True)
+class TopologyPartition:
+    """A validated node-to-shard assignment plus its derived cut set."""
+
+    shards: int
+    assignment: Dict[str, int]
+    cut_edges: List[CutEdge]
+    #: Global conservative lookahead: the minimum over every cut edge.
+    #: No cross-shard packet can arrive sooner than this after it was
+    #: sent, which is the window width the shard barrier may grant.
+    lookahead_s: float
+
+    def islands(self) -> Dict[int, List[str]]:
+        """Node names per shard, in deterministic (insertion) order."""
+        out: Dict[int, List[str]] = {s: [] for s in range(self.shards)}
+        for name, shard in self.assignment.items():
+            out[shard].append(name)
+        return out
+
+
+def partition_network(
+    net: Network,
+    shards: int,
+    assignment: Dict[str, int],
+) -> TopologyPartition:
+    """Validate a node-to-shard assignment and derive the directed cut set.
+
+    Every node must be assigned to exactly one shard in ``[0, shards)``.
+    A link whose endpoints land in different shards becomes two directed
+    :class:`CutEdge` s (one per direction); its propagation delay is the
+    conservative lookahead, so a cut edge with **zero** minimum delay
+    (zero-delay link, or jitter equal to the base delay) is refused — a
+    conservative parallel simulation cannot make progress across a cut
+    with no lookahead.
+    """
+    if shards < 1:
+        raise ConfigurationError(f"shard count must be >= 1: {shards}")
+    for name in net.nodes:
+        if name not in assignment:
+            raise ConfigurationError(
+                f"partition assigns no shard to node {name!r}"
+            )
+    for name, shard in assignment.items():
+        if name not in net.nodes:
+            raise ConfigurationError(
+                f"partition assigns unknown node {name!r}"
+            )
+        if not 0 <= shard < shards:
+            raise ConfigurationError(
+                f"node {name!r} assigned to shard {shard} "
+                f"(valid: 0..{shards - 1})"
+            )
+    cut_edges: List[CutEdge] = []
+    channel_id = 0
+    for link in net.links:
+        for iface in (link.a_to_b, link.b_to_a):
+            src = iface.node.name
+            dst = iface.peer.node.name
+            from_shard = assignment[src]
+            to_shard = assignment[dst]
+            if from_shard != to_shard:
+                lookahead = iface.delay_s - iface.jitter_s
+                if lookahead <= 0:
+                    raise ConfigurationError(
+                        f"partition cuts link {iface.name!r} which has no "
+                        f"lookahead (delay {iface.delay_s}s, jitter "
+                        f"{iface.jitter_s}s): a zero-delay link cannot "
+                        "cross shards — co-locate its endpoints"
+                    )
+                cut_edges.append(CutEdge(
+                    channel_id=channel_id,
+                    src_node=src,
+                    dst_node=dst,
+                    from_shard=from_shard,
+                    to_shard=to_shard,
+                    lookahead_s=lookahead,
+                ))
+            channel_id += 1
+    if shards > 1 and not cut_edges:
+        raise ConfigurationError(
+            f"partition into {shards} shards cuts no links — every node "
+            "landed in one shard; use shards=1 for the in-process engine"
+        )
+    lookahead = min(
+        (edge.lookahead_s for edge in cut_edges), default=float("inf")
+    )
+    return TopologyPartition(
+        shards=shards,
+        assignment=dict(assignment),
+        cut_edges=cut_edges,
+        lookahead_s=lookahead,
+    )
+
+
+def suggest_assignment(net: Network, shards: int) -> Dict[str, int]:
+    """A deterministic default assignment: islands balanced by node count.
+
+    Nodes joined by a link with no lookahead (zero delay, or jitter equal
+    to the delay) can never be separated, so they are first contracted
+    into atoms (union-find); atoms are then dealt round-robin, largest
+    first, to the currently lightest shard. Ties break on first-node
+    construction order, so the result is a pure function of the topology.
+    Workload-aware runners (the swarm, the dumbbell) pass their own
+    assignment instead — this helper is the generic fallback.
+    """
+    if shards < 1:
+        raise ConfigurationError(f"shard count must be >= 1: {shards}")
+    order = {name: index for index, name in enumerate(net.nodes)}
+    parent: Dict[str, str] = {name: name for name in net.nodes}
+
+    def find(name: str) -> str:
+        while parent[name] != name:
+            parent[name] = parent[parent[name]]
+            name = parent[name]
+        return name
+
+    for link in net.links:
+        if min(
+            link.a_to_b.delay_s - link.a_to_b.jitter_s,
+            link.b_to_a.delay_s - link.b_to_a.jitter_s,
+        ) <= 0:
+            a, b = find(link.node_a.name), find(link.node_b.name)
+            if a != b:
+                # Representative = earliest-constructed node.
+                keep, drop = (a, b) if order[a] <= order[b] else (b, a)
+                parent[drop] = keep
+    atoms: Dict[str, List[str]] = {}
+    for name in net.nodes:
+        atoms.setdefault(find(name), []).append(name)
+    ordered = sorted(
+        atoms.values(), key=lambda members: (-len(members), order[members[0]])
+    )
+    loads = [0] * shards
+    assignment: Dict[str, int] = {}
+    for members in ordered:
+        shard = min(range(shards), key=lambda s: (loads[s], s))
+        loads[shard] += len(members)
+        for name in members:
+            assignment[name] = shard
+    return assignment
 
 
 @dataclass

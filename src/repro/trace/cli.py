@@ -56,6 +56,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", metavar="DIR", default="traces",
         help="output directory (default: traces)",
     )
+    capture.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="run shardable cells on N worker processes with the "
+             "conservative sharded engine (default: 1); the CI shard tier "
+             "captures the same cell at --shards 1 and 2 and diffs the "
+             "recordings to pin event-for-event identity",
+    )
 
     export = sub.add_parser(
         "export", help="synthesize a pcap from a JSONL recording",
@@ -133,9 +140,26 @@ def _cmd_capture(args: argparse.Namespace) -> int:
                   f"known: {', '.join(by_key)}", file=sys.stderr)
             return 2
         cells = [by_key[key] for key in wanted]
+    if args.shards < 1:
+        print(f"--shards must be >= 1: {args.shards}", file=sys.stderr)
+        return 2
+    if args.shards != 1:
+        from ..parallel.shard import SHARDABLE_RUNNERS, shard_cell_kwargs
+
+        unshardable = [s.key for s in cells
+                       if s.runner not in SHARDABLE_RUNNERS]
+        if unshardable:
+            print(f"cell(s) not shardable: {', '.join(unshardable)} "
+                  f"(shardable runners: "
+                  f"{', '.join(sorted(SHARDABLE_RUNNERS))})",
+                  file=sys.stderr)
+            return 2
     os.makedirs(args.out, exist_ok=True)
     for spec in cells:
-        kwargs = dict(spec.kwargs)
+        if args.shards != 1:
+            kwargs = shard_cell_kwargs(spec.runner, spec.kwargs, args.shards)
+        else:
+            kwargs = dict(spec.kwargs)
         kwargs["trace"] = trace
         traced = CellSpec(spec.figure_id, spec.key, spec.runner, kwargs)
         result, _ = execute_cell(traced)

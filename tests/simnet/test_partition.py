@@ -1,0 +1,144 @@
+"""Topology partitioning for the sharded engine.
+
+The partitioner is pure topology analysis: validate a node→shard map,
+derive the directed cut set with deterministic channel ids, and compute
+the conservative lookahead (minimum cut propagation delay). These tests
+pin island discovery on the three topologies the sharded runners use,
+the zero-lookahead refusal, and the determinism of the generic
+assignment helper.
+"""
+
+import pytest
+
+from repro.simnet.errors import ConfigurationError
+from repro.simnet.topology import (
+    build_dumbbell,
+    build_star,
+    partition_network,
+    suggest_assignment,
+)
+from repro.simnet.units import mbps, ms
+
+
+def _star(leaves=6, delay=ms(10)):
+    return build_star(leaves, mbps(10), delay)
+
+
+def test_star_islands_and_cut_edges():
+    star = _star(leaves=4)
+    assignment = {"hub": 0, "h0": 0, "h1": 0, "h2": 1, "h3": 1}
+    partition = partition_network(star.network, 2, assignment)
+    islands = partition.islands()
+    assert islands[0] == ["hub", "h0", "h1"]
+    assert islands[1] == ["h2", "h3"]
+    # Each leaf link contributes two directed edges; only the h2/h3 links
+    # cross the cut, so 4 directed cut edges.
+    assert len(partition.cut_edges) == 4
+    assert {(e.src_node, e.dst_node) for e in partition.cut_edges} == {
+        ("h2", "hub"), ("hub", "h2"), ("h3", "hub"), ("hub", "h3"),
+    }
+    assert partition.lookahead_s == pytest.approx(ms(10))
+
+
+def test_channel_ids_follow_link_construction_order():
+    """Channel ids number every directed edge (cut or not) in link
+    construction order, forward direction first — the cross-engine merge
+    key depends on this being a pure function of the topology."""
+    star = _star(leaves=3)
+    assignment = {"hub": 0, "h0": 0, "h1": 1, "h2": 1}
+    partition = partition_network(star.network, 2, assignment)
+    # Links in order: h0-hub (ids 0,1), h1-hub (2,3), h2-hub (4,5).
+    by_edge = {(e.src_node, e.dst_node): e.channel_id
+               for e in partition.cut_edges}
+    assert by_edge == {
+        ("h1", "hub"): 2, ("hub", "h1"): 3,
+        ("h2", "hub"): 4, ("hub", "h2"): 5,
+    }
+
+
+def test_dumbbell_bulk_split():
+    """The run_bulk assignment: senders + left router vs receivers +
+    right router; only the bottleneck crosses."""
+    bell = build_dumbbell(2, mbps(100), mbps(10), ms(20), access_delay_s=ms(1))
+    assignment = {"rL": 0, "s0": 0, "s1": 0, "rR": 1, "d0": 1, "d1": 1}
+    partition = partition_network(bell.network, 2, assignment)
+    assert {(e.src_node, e.dst_node) for e in partition.cut_edges} == {
+        ("rL", "rR"), ("rR", "rL"),
+    }
+    assert partition.lookahead_s == pytest.approx(ms(20))
+
+
+def test_swarm_star_stripe():
+    """Striping leaves over three shards cuts every off-hub leaf link."""
+    star = _star(leaves=6)
+    assignment = {"hub": 0}
+    for index in range(6):
+        assignment[f"h{index}"] = index % 3
+    partition = partition_network(star.network, 3, assignment)
+    islands = partition.islands()
+    assert islands[0] == ["hub", "h0", "h3"]
+    assert islands[1] == ["h1", "h4"]
+    assert islands[2] == ["h2", "h5"]
+    # h0/h3 share the hub's shard; the other 4 leaf links cross (x2 dirs).
+    assert len(partition.cut_edges) == 8
+
+
+def test_unassigned_and_unknown_nodes_refused():
+    star = _star(leaves=2)
+    with pytest.raises(ConfigurationError, match="assigns no shard"):
+        partition_network(star.network, 2, {"hub": 0, "h0": 1})
+    with pytest.raises(ConfigurationError, match="unknown node"):
+        partition_network(
+            star.network, 2,
+            {"hub": 0, "h0": 0, "h1": 1, "ghost": 1},
+        )
+    with pytest.raises(ConfigurationError, match="valid: 0..1"):
+        partition_network(
+            star.network, 2, {"hub": 0, "h0": 1, "h1": 2}
+        )
+
+
+def test_zero_delay_cut_refused():
+    """A cut with no lookahead cannot make conservative progress."""
+    star = _star(leaves=2, delay=0.0)
+    with pytest.raises(ConfigurationError, match="no.*lookahead|lookahead"):
+        partition_network(
+            star.network, 2, {"hub": 0, "h0": 0, "h1": 1}
+        )
+
+
+def test_all_in_one_shard_refused_for_multi_shard():
+    star = _star(leaves=2)
+    with pytest.raises(ConfigurationError, match="cuts no links"):
+        partition_network(
+            star.network, 2, {"hub": 0, "h0": 0, "h1": 0}
+        )
+
+
+def test_single_shard_partition_is_trivially_valid():
+    star = _star(leaves=2)
+    partition = partition_network(
+        star.network, 1, {"hub": 0, "h0": 0, "h1": 0}
+    )
+    assert partition.cut_edges == []
+    assert partition.lookahead_s == float("inf")
+
+
+def test_suggest_assignment_is_deterministic_and_balanced():
+    star = _star(leaves=5)
+    first = suggest_assignment(star.network, 2)
+    second = suggest_assignment(star.network, 2)
+    assert first == second
+    sizes = sorted(
+        sum(1 for shard in first.values() if shard == s) for s in range(2)
+    )
+    assert sizes == [3, 3]  # 6 nodes balanced 3/3
+    # And the suggestion must survive its own validation.
+    partition_network(star.network, 2, first)
+
+
+def test_suggest_assignment_contracts_zero_delay_links():
+    """Nodes joined by a zero-lookahead link can never be separated."""
+    star = _star(leaves=4, delay=0.0)
+    assignment = suggest_assignment(star.network, 2)
+    assert len(set(assignment.values())) == 1

@@ -1,34 +1,32 @@
 """Sharded-engine throughput benchmark — 2-way split of the 250-peer swarm.
 
 Runs the largest ext5 swarm (250 leechers, 512 KiB file) once on the
-single-process engine and once split across two shard workers, and
-records wall clock, per-shard event counts, barrier round counts and
-blocked time in ``BENCH_shard.json`` at the repo root.
+single-process engine, once split across two shard workers, and once more
+sharded with window batching disabled (``REPRO_SHARD_WINDOW_BATCH=1``,
+the PR 6 one-window-per-round engine), and records wall clock, per-shard
+event counts, barrier round/window counts and blocked time in
+``BENCH_shard.json`` at the repo root.
 
-Correctness asserts are calibrated to what the sharded engine actually
-guarantees at this scale. With the determinism ``delay_salt`` the
-sharded swarm is event-for-event identical to the single-process run
-up through ~25 leechers (pinned by the flight-recorder diff in
-``tests/parallel/test_shard_equivalence.py``); beyond that, same-float
-timer-vs-arrival ties can still resolve differently (periodic timers
-land on bit-equal old arrival times, and a staged cross-shard delivery
-is re-created at its injection window, shifting its creation order
-relative to timers armed earlier), so the big swarm is checked as
-aggregate-equivalent: every leecher completes, every event is accounted
-to exactly one shard, totals agree within a small bounded drift
-(measured 0.008% at 250 leechers), and mean download time agrees
-closely. The json records ``events_identical`` / ``downloads_identical``
-so CI history shows when a run happens to be exact.
+Correctness is asserted at the strongest tier: with the determinism
+``delay_salt`` the sharded swarm is **event-for-event identical** to the
+single-process run at every size — the engine's tie-rank channel lets
+injected cross-shard deliveries claim their original creation instant
+against bit-equal-timestamp periodic timers, which closed the +169-event
+drift this benchmark used to tolerate. ``events_identical`` and
+``downloads_identical`` are now hard gates, not advisory json fields.
 
-The speedup bar — **>= 1.7x** events/sec at 2 shards — is asserted only
-when the machine has >= ``MIN_CORES_FOR_BAR`` cores (``cpu_count``
-fixture); on smaller boxes the json records ``speedup_asserted: false``
-and the measured (possibly < 1x) ratio for review.
+The batching bar — rounds must drop **>= 3x** against the unbatched
+engine — is a counting property and is asserted on any machine. The
+speedup bar — **>= 1.7x** events/sec at 2 shards — is asserted only when
+the machine has >= ``MIN_CORES_FOR_BAR`` cores (``cpu_count`` fixture);
+on smaller boxes the json records ``speedup_asserted: false`` and the
+measured (possibly < 1x) ratio for review.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -43,12 +41,9 @@ BENCH_JSON = REPO_ROOT / "BENCH_shard.json"
 REQUIRED_SPEEDUP = 1.7
 MIN_CORES_FOR_BAR = 4
 
-#: Event totals may drift by same-float timer ties at this scale;
-#: measured drift is ~1e-4 relative, so 1% is a loose-but-real bound.
-MAX_EVENTS_DRIFT = 0.01
-#: Individual download times can shift by a few tie-resolved seconds,
-#: but the mean over 250 peers must stay put.
-MAX_MEAN_DOWNLOAD_DRIFT = 0.05
+#: Window-batching bar: full barrier rounds vs the one-window-per-round
+#: engine. Counting property — asserted regardless of cores.
+REQUIRED_ROUNDS_DROP = 3.0
 
 #: The heaviest ext5 row: 250 leechers, 512 KiB file, 32 KiB pieces.
 LEECHERS = 250
@@ -58,20 +53,27 @@ SHARDS = 2
 DELAY_SALT = 1e-6
 
 
-def _run(shards):
+def _run(shards, window_batch=None):
     profile = NetworkProfile.from_rtt(mbps(10), ms(20))
-    started = time.perf_counter()
-    result = run_bittorrent(
-        profile, 1, leechers=LEECHERS, file_bytes=FILE_BYTES,
-        seed=4242, piece_bytes=PIECE_BYTES, delay_salt=DELAY_SALT,
-        shards=shards,
-    )
+    if window_batch is not None:
+        os.environ["REPRO_SHARD_WINDOW_BATCH"] = str(window_batch)
+    try:
+        started = time.perf_counter()
+        result = run_bittorrent(
+            profile, 1, leechers=LEECHERS, file_bytes=FILE_BYTES,
+            seed=4242, piece_bytes=PIECE_BYTES, delay_salt=DELAY_SALT,
+            shards=shards,
+        )
+    finally:
+        if window_batch is not None:
+            del os.environ["REPRO_SHARD_WINDOW_BATCH"]
     return result, time.perf_counter() - started
 
 
 def test_shard_scale_speedup(cpu_count):
     single, single_s = _run(1)
     sharded, sharded_s = _run(SHARDS)
+    unbatched, unbatched_s = _run(SHARDS, window_batch=1)
     single_rate = single.events_processed / single_s
     sharded_rate = sharded.events_processed / sharded_s
     speedup = sharded_rate / single_rate if single_rate > 0 else 0.0
@@ -81,6 +83,9 @@ def test_shard_scale_speedup(cpu_count):
     mean_sharded = (
         sum(sharded.download_times_s) / len(sharded.download_times_s)
     )
+    rounds = sharded.shard_stats[0]["rounds"]
+    unbatched_rounds = unbatched.shard_stats[0]["rounds"]
+    rounds_drop = unbatched_rounds / rounds if rounds else 0.0
 
     record = {
         "leechers": LEECHERS,
@@ -90,6 +95,7 @@ def test_shard_scale_speedup(cpu_count):
         "cpu_count": cpu_count,
         "single_s": round(single_s, 3),
         "sharded_s": round(sharded_s, 3),
+        "unbatched_sharded_s": round(unbatched_s, 3),
         "events": single.events_processed,
         "events_delta": events_delta,
         "events_identical": events_delta == 0,
@@ -97,12 +103,15 @@ def test_shard_scale_speedup(cpu_count):
             sharded.download_times_s == single.download_times_s
         ),
         "mean_download_s": round(mean_single, 3),
-        "mean_download_sharded_s": round(mean_sharded, 3),
         "single_events_per_sec": round(single_rate),
         "sharded_events_per_sec": round(sharded_rate),
         "speedup": round(speedup, 3),
         "required_speedup": REQUIRED_SPEEDUP,
         "speedup_asserted": cpu_count >= MIN_CORES_FOR_BAR,
+        "rounds": rounds,
+        "unbatched_rounds": unbatched_rounds,
+        "rounds_drop": round(rounds_drop, 2),
+        "required_rounds_drop": REQUIRED_ROUNDS_DROP,
         "shard_stats": sharded.shard_stats,
     }
     BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
@@ -111,20 +120,30 @@ def test_shard_scale_speedup(cpu_count):
     print(f"n={LEECHERS}: single {single_s:.1f} s "
           f"({single_rate:,.0f} ev/s), {SHARDS} shards {sharded_s:.1f} s "
           f"({sharded_rate:,.0f} ev/s) -> {speedup:.2f}x "
-          f"({cpu_count} core(s), events delta {events_delta:+d}) "
-          f"-> {BENCH_JSON.name}")
+          f"({cpu_count} core(s)); rounds {unbatched_rounds} -> {rounds} "
+          f"({rounds_drop:.1f}x) -> {BENCH_JSON.name}")
 
-    # Aggregate equivalence on any machine: a completed swarm on both
-    # engines, every event accounted to exactly one shard, totals within
-    # the tie-drift bound, and the mean download time unchanged.
+    # Event-for-event identity on any machine: the salted sharded swarm
+    # is the single-process swarm, bit for bit, and the unbatched engine
+    # agrees with both (window boundaries cannot move events).
     assert single.completed == LEECHERS
     assert sharded.completed == LEECHERS
     assert sum(s["events_processed"] for s in sharded.shard_stats) == (
         sharded.events_processed
     )
-    assert abs(events_delta) <= MAX_EVENTS_DRIFT * single.events_processed
-    assert abs(mean_sharded - mean_single) <= (
-        MAX_MEAN_DOWNLOAD_DRIFT * mean_single
+    assert events_delta == 0, (
+        f"sharded swarm drifted {events_delta:+d} events from the "
+        "single-process engine; the tie-rank channel should make this 0"
+    )
+    assert sharded.download_times_s == single.download_times_s
+    assert unbatched.events_processed == single.events_processed
+    assert unbatched.download_times_s == single.download_times_s
+    assert mean_sharded == mean_single
+
+    assert rounds_drop >= REQUIRED_ROUNDS_DROP, (
+        f"window batching only cut barrier rounds {rounds_drop:.2f}x "
+        f"({unbatched_rounds} -> {rounds}); required "
+        f"{REQUIRED_ROUNDS_DROP}x — see {BENCH_JSON}"
     )
 
     if cpu_count >= MIN_CORES_FOR_BAR:

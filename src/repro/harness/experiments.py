@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..apps.bittorrent import PeerConfig, TorrentMeta, build_swarm
+from ..apps.bittorrent.swarm import salt_fraction
 from ..apps.crosstraffic import CbrSource, UdpSink
 from ..apps.httpclient import OpenLoopHttpLoad
 from ..apps.httpd import WebServer
@@ -450,14 +451,11 @@ class BitTorrentResult:
     shard_stats: List = field(default_factory=list)
 
 
-def _salt_fraction(index: int) -> float:
-    """Deterministic per-leaf fraction in [0, 1) for ``delay_salt``.
-
-    Knuth's multiplicative hash spreads consecutive indices across the
-    unit interval so no two leaves (and no arithmetic combination of two
-    leaf delays) collide to the same float offset.
-    """
-    return ((index * 2654435761) & 0xFFFFFFFF) / 2.0 ** 32
+#: Deterministic per-leaf fraction in [0, 1) for ``delay_salt`` — the
+#: same Knuth-hash spread the swarm uses for ``timer_salt``, so both
+#: symmetry breakers are one definition (see
+#: :func:`repro.apps.bittorrent.swarm.salt_fraction`).
+_salt_fraction = salt_fraction
 
 
 def run_bittorrent(
@@ -473,6 +471,7 @@ def run_bittorrent(
     impair_tracker: Optional[ImpairmentSpec] = None,
     trace: Optional[TraceSpec] = None,
     delay_salt: float = 0.0,
+    timer_salt: float = 0.0,
     shards: int = 1,
     _shard=None,
 ) -> BitTorrentResult:
@@ -498,10 +497,16 @@ def run_bittorrent(
     into, where packets from different leaves reach the hub at *bit-equal*
     timestamps; those ties are resolved by unbounded event-creation
     genealogy in a single process, which no bounded cross-shard merge key
-    can reproduce (see :mod:`repro.parallel.shard`).
+    can reproduce (see :mod:`repro.parallel.shard`). ``timer_salt``
+    spreads the peers' choke intervals the same way (roster slot ``i``
+    gets ``interval * (1 + timer_salt * frac(i))``) — the documented
+    fallback for specs that must keep link delays bit-symmetric but can
+    tolerate de-phase-locked timers; default 0.0, so goldens never see it.
 
-    ``shards=N`` keeps the hub, tracker and seed in worker 0 and stripes
-    the leechers over the remaining workers, synchronised by the
+    ``shards=N`` keeps the hub and tracker in worker 0, stripes the seed
+    into worker 1 (its upload traffic is ~15% of swarm events — leaving
+    it beside the hub's ~30% starved every other worker), and stripes the
+    leechers over all workers, synchronised by the
     conservative barrier of :mod:`repro.parallel.shard` with the star
     links' propagation delay as lookahead. Aggregate results (event
     counts, byte totals, announce counts) merge exactly for any
@@ -519,7 +524,7 @@ def run_bittorrent(
                 file_bytes=file_bytes, seed=seed, piece_bytes=piece_bytes,
                 horizon_s=horizon_s, choke_interval_s=choke_interval_s,
                 impair=impair, impair_tracker=impair_tracker, trace=trace,
-                delay_salt=delay_salt,
+                delay_salt=delay_salt, timer_salt=timer_salt,
             ),
             shards,
             _swarm_assignment(leechers, shards),
@@ -549,8 +554,9 @@ def run_bittorrent(
         ctx.localize(net, partition_network(net, ctx.shards, ctx.assignment))
     tracker_link, seed_link, first_leecher_link = links[0], links[1], links[2]
     # Impairment chains attach to an egress, so they belong to the shard
-    # that owns the transmitting node (all of these sit in shard 0 under
-    # the standard assignment; the gates keep custom splits honest).
+    # that owns the transmitting node (under the standard assignment the
+    # seed's uplink sits in shard 1, the tracker link in shard 0; the
+    # ownership gates keep any split honest).
     if impair is not None and ctx.owns(leaves[1]):
         seed_link.interface_from(leaves[1]).set_impairments(
             impair.build(net.sim, tdf=factor)
@@ -581,6 +587,7 @@ def run_bittorrent(
         config=PeerConfig(choke_interval_s=choke_interval_s,
                           stall_timeout_s=4 * choke_interval_s),
         include=ctx.owns if _shard is not None else None,
+        timer_salt=timer_salt,
     )
     recorder = None
     if trace is not None:
@@ -1052,11 +1059,15 @@ def _bulk_assignment(flows: int, shards: int) -> Dict[str, int]:
 
 
 def _swarm_assignment(leechers: int, shards: int) -> Dict[str, int]:
-    """Hub + tracker + seed in shard 0, leechers striped over the rest.
+    """Hub + tracker in shard 0, seed in shard 1, leechers striped.
 
-    Shard 0 already carries the hub (which forwards every packet in the
-    star) plus the tracker and seed, so the stripe pattern gives it half
-    as many leechers as each other shard.
+    The hub forwards every packet in the star (~30% of swarm events) and
+    the seed transmits every original piece copy (~15%); parking both in
+    shard 0 — the PR 6 layout — left it executing ~65% of all events
+    while its siblings idled at the barrier. Striping the seed out and
+    giving shard 0 one leecher per cycle against two for every other
+    shard lands a 2-way split at ~50/50 measured event share (hub +
+    tracker + n/3 leechers vs seed + 2n/3 leechers).
     """
     if shards < 2:
         raise ConfigurationError(
@@ -1067,7 +1078,7 @@ def _swarm_assignment(leechers: int, shards: int) -> Dict[str, int]:
             f"cannot spread {leechers} leechers over {shards} shards: "
             "every shard above 0 needs at least one leecher"
         )
-    assignment = {"hub": 0, "h0": 0, "h1": 0}
+    assignment = {"hub": 0, "h0": 0, "h1": 1}
     pattern = [0] + [shard for shard in range(1, shards) for _ in (0, 1)]
     for index in range(leechers):
         assignment[f"h{index + 2}"] = pattern[index % len(pattern)]

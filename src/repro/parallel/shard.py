@@ -58,45 +58,61 @@ land on the hub at float-identical times having left float-identical
 transmitters; their single-process creation order is peer construction
 order, which is link construction order, which is channel order).
 
-The key is deliberately *bounded*, and that is a real limitation: the
-single-process tie-break is creation order, which for two equal-float,
-equal-tx-finish deliveries regresses through the *genealogy* of their
-transmit events — back-to-back NIC busy runs chain each transmit's
-creation to the previous one, so the discriminating float can sit
-arbitrarily many causal steps up two histories whose every intervening
-step is bit-equal. Reproducing that across processes would mean shipping
-unbounded ancestor-time chains with every packet. A perfectly symmetric
-topology (every leaf the same delay) phase-locks real traffic onto
-exactly such ties; experiment builders therefore expose a deterministic
-per-link ``delay_salt`` that perturbs propagation delays at the
-nanosecond scale, making cross-channel float ties measure-zero and the
-bounded key exact for delivery-vs-delivery ordering. One residual class
-survives the salt: *timer-vs-arrival* ties, where a periodic timer fires
-at a bit-equal copy of an old arrival time (timers are armed at
-``arrival + exact constant``). The single-process tie-break is again
-creation order — the timer was created whole windows before the arrival
-— but a cross-shard delivery is re-*created* in the destination engine
-at its injection window, so its creation seq relative to long-armed
-timers can differ. Measured drift from this class is ~1e-4 relative
-event count on the 250-peer swarm over ~100 virtual seconds, and zero
-through ~25 peers (salted runs are pinned event-for-event identical by
-the flight-recorder diff at 4..25 leechers and on every bulk topology).
-Unsalted symmetric runs still merge *aggregates* exactly (event counts
-are conserved 1:1, byte totals are order-free) but may reorder
-same-float deliveries; the flight-recorder divergence gate in CI runs
-salted.
+*Timer-vs-arrival* ties — a periodic timer firing at a bit-equal copy of
+an old arrival time (timers are armed at ``arrival + exact constant``) —
+are resolved through the engine's tie-rank channel: the single-process
+tie-break is creation order, and a cross-shard delivery is re-*created*
+in the destination engine at its injection window, so its creation *seq*
+says "just now" while the timer's says "windows ago". Injection therefore
+passes ``tie_key=tx_finish`` to :meth:`Simulator.call_at` — the
+delivery's original creation instant — and the engine orders
+same-timestamp events by ``(rank, seq)`` where a plain event's rank is
+its local scheduling instant. Ranks thus equal creation instants on every
+path (timers inductively, deliveries by construction: an in-window or
+single-process delivery is scheduled *at* its transmit-finish instant),
+so the sharded engine reproduces single-process creation order exactly
+whenever creation instants differ as floats. This closed the measured
++169-event (~1e-4 relative) drift at 250 leechers; salted sharded swarms
+are pinned event-for-event identical by the flight-recorder diff from 4
+through 250 leechers, and on every bulk topology.
 
-Wall-clock: one barrier round costs two pipe transfers per peer. Rounds
-advance virtual time by at least ``L`` each, so a run makes roughly
-``(virtual span / min link delay)`` rounds — tens of microseconds each on
-the full-mesh handshake, far below the per-window event execution they
-amortise.
+What remains is deliberately *bounded*: events whose creation instants
+are themselves bit-equal fall back to seq order, which across shards is
+injection-key order — ``(channel_id, channel_seq)`` — not single-process
+creation *genealogy*. For two equal-float, equal-tx-finish deliveries the
+single-process discriminator regresses through the ancestry of their
+transmit events (back-to-back NIC busy runs chain each transmit's
+creation to the previous one), and reproducing that across processes
+would mean shipping unbounded ancestor-time chains with every packet. A
+perfectly symmetric topology (every leaf the same delay) phase-locks real
+traffic onto exactly such ties; experiment builders therefore expose a
+deterministic per-link ``delay_salt`` that perturbs propagation delays at
+the nanosecond scale, making bit-equal cross-shard creation instants
+measure-zero and the bounded key exact. (Apps that cannot accept salted
+link delays can instead salt their *timer periods* — see the swarm's
+``timer_salt`` — which de-phase-locks the timer-vs-arrival class the same
+way; the harness default is link salt because it also covers
+delivery-vs-delivery ties.) Unsalted symmetric runs still merge
+*aggregates* exactly (event counts are conserved 1:1, byte totals are
+order-free) but may reorder same-float deliveries; the flight-recorder
+divergence gates in CI run salted.
+
+Wall-clock: a *full* barrier round costs two pipe transfers per mesh
+peer, O(shards²) total. YAWNS-style batching (see
+:meth:`ShardContext.advance`) grants up to ``window_batch`` consecutive
+lookahead windows per full round in busy regions, separated only by
+neighbor-pair outbox swaps that are O(cut degree); the
+``shard.windows_per_round`` counter says how often the batch path ran.
+Sparse regions fall back to one global-min window per round, which jumps
+idle gaps in one hop. ``REPRO_SHARD_WINDOW_BATCH`` (default 8, minimum 1)
+caps the batch size; 1 restores the unbatched engine.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+import os
 import time
 import traceback
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -260,8 +276,23 @@ class ShardContext:
         #: sends at or below it are scheduled natively (see _LocalChannel).
         self._window_limit = -math.inf
         self._round = 0
+        #: Shards sharing a cut edge with this one (sorted; filled by
+        #: :meth:`localize`). Mid-batch boundary swaps pair only these —
+        #: the full mesh is touched once per round, not once per window.
+        self._neighbors: List[int] = []
+        #: Max lookahead windows granted per barrier round (YAWNS
+        #: batching); identical in every worker because the environment is
+        #: inherited. 1 restores the one-window-per-round PR 6 behaviour.
+        raw_batch = os.environ.get("REPRO_SHARD_WINDOW_BATCH", "").strip()
+        self.window_batch = max(1, int(raw_batch) if raw_batch else 8)
+        #: Events executed as of the previous full exchange / windows run
+        #: since then — the density guard's inputs (see :meth:`advance`).
+        self._events_at_exchange = 0
+        self._windows_since_exchange = 0
+        self._dense = True
         # Barrier counters (mirrored into sim.counters as shard.*).
         self.rounds = 0
+        self.windows = 0
         self.messages_in = 0
         self.messages_out = 0
         self.barrier_wait_s = 0.0
@@ -285,6 +316,7 @@ class ShardContext:
         self.sim = net.sim
         self.lookahead_s = partition.lookahead_s
         assignment = partition.assignment
+        neighbors = set()
         channel_id = 0
         for link in net.links:
             for iface in (link.a_to_b, link.b_to_a):
@@ -292,12 +324,15 @@ class ShardContext:
                 dst_shard = assignment[iface.peer.node.name]
                 if dst_shard == self.shard_id:
                     self._targets[channel_id] = iface.peer
+                    if src_shard != self.shard_id:
+                        neighbors.add(src_shard)
                 if src_shard == self.shard_id:
                     if dst_shard == self.shard_id:
                         iface.egress_channel = _LocalChannel(
                             self, channel_id, iface.peer
                         )
                     else:
+                        neighbors.add(dst_shard)
                         iface.egress_channel = _RemoteChannel(
                             self, channel_id, dst_shard
                         )
@@ -306,6 +341,9 @@ class ShardContext:
                         iface.name, src_shard
                     )
                 channel_id += 1
+        # Links are duplex, so the cut-neighbor relation is symmetric and
+        # every worker derives the same pairing from the same assignment.
+        self._neighbors = sorted(neighbors)
 
     # -------------------------------------------------------------- barrier
 
@@ -348,22 +386,33 @@ class ShardContext:
         return replies
 
     def _exchange(self) -> float:
-        """One barrier round: swap adverts + outboxes, return global min."""
+        """One full barrier round: swap adverts + outboxes, return global min.
+
+        The payload also carries each shard's events-executed-since-last-
+        round so every worker computes the same *density* verdict: batching
+        fixed-width windows only pays when the region is busy (see
+        :meth:`advance`), and the verdict must be a pure function of shared
+        data or the workers' window sequences would diverge.
+        """
         self._round += 1
         tag = self._round
         advert = self._advert()
         lowest = advert
+        executed = self.sim.events_processed
+        delta = executed - self._events_at_exchange
+        self._events_at_exchange = executed
+        total_delta = delta
         started = time.perf_counter()
         for peer, conn in self._mesh.items():
             box = self._outbox[peer]
             if peer > self.shard_id:
-                conn.send((tag, advert, box))
+                conn.send((tag, advert, delta, box))
                 self.messages_out += len(box)
                 box.clear()  # in place: channels hold this list
-                peer_tag, peer_advert, bundle = conn.recv()
+                peer_tag, peer_advert, peer_delta, bundle = conn.recv()
             else:
-                peer_tag, peer_advert, bundle = conn.recv()
-                conn.send((tag, advert, box))
+                peer_tag, peer_advert, peer_delta, bundle = conn.recv()
+                conn.send((tag, advert, delta, box))
                 self.messages_out += len(box)
                 box.clear()
             if peer_tag != tag:
@@ -373,6 +422,7 @@ class ShardContext:
                 )
             if peer_advert < lowest:
                 lowest = peer_advert
+            total_delta += peer_delta
             if bundle:
                 self.messages_in += len(bundle)
                 staged = self._staged
@@ -380,7 +430,51 @@ class ShardContext:
                     heapq.heappush(staged, item)
         self.barrier_wait_s += time.perf_counter() - started
         self.rounds += 1
+        # Dense enough to batch iff the span since the previous round
+        # averaged at least one event per window globally; sparse regions
+        # keep the one-window round whose global-min grant can jump an
+        # idle gap in one hop, which fixed-width windows cannot.
+        self._dense = total_delta >= self._windows_since_exchange
+        self._windows_since_exchange = 0
         return lowest
+
+    def _swap_boundary(self, window: int) -> None:
+        """Ship outboxes to cut neighbors at a mid-batch window boundary.
+
+        Packets sent during sub-window ``w`` arrive no earlier than the
+        start of sub-window ``w + 1`` (every cut edge's delay is at least
+        the lookahead), so shipping at each boundary is sufficient; an
+        empty bundle is the null message that licenses the receiver to
+        proceed. Only neighbors swap — this is the part of a round that is
+        O(cut degree), not O(shards²) — with the same low/high
+        send-first/receive-first ordering as the full mesh.
+        """
+        tag = (self._round, window)
+        started = time.perf_counter()
+        for peer in self._neighbors:
+            conn = self._mesh[peer]
+            box = self._outbox[peer]
+            if peer > self.shard_id:
+                conn.send((tag, box))
+                self.messages_out += len(box)
+                box.clear()
+                peer_tag, bundle = conn.recv()
+            else:
+                peer_tag, bundle = conn.recv()
+                conn.send((tag, box))
+                self.messages_out += len(box)
+                box.clear()
+            if peer_tag != tag:
+                raise RuntimeError(
+                    f"shard {self.shard_id} window-boundary desync with "
+                    f"shard {peer}: expected {tag}, peer answered {peer_tag}"
+                )
+            if bundle:
+                self.messages_in += len(bundle)
+                staged = self._staged
+                for item in bundle:
+                    heapq.heappush(staged, item)
+        self.barrier_wait_s += time.perf_counter() - started
 
     def _inject(self, limit: float) -> None:
         """Schedule every staged arrival at or below ``limit``, in key order.
@@ -388,7 +482,11 @@ class ShardContext:
         The heap pops in ``(arrival, tx_finish, channel_id, channel_seq)``
         order, so the engine assigns seqs — and therefore same-time tie
         order — as a pure function of the simulation, never of IPC
-        interleaving.
+        interleaving. Each delivery is injected with ``tie_key=tx_finish``,
+        its *original* creation instant: the engine then ranks it against
+        same-timestamp local events (periodic timers armed windows ago
+        especially) exactly where single-process creation order would have
+        put it, no matter which window re-created it here.
         """
         staged = self._staged
         if not staged or staged[0][0] > limit:
@@ -397,17 +495,30 @@ class ShardContext:
         targets = self._targets
         pop = heapq.heappop
         while staged and staged[0][0] <= limit:
-            arrival, _tx, channel_id, _seq, packet = pop(staged)
-            sim.call_at(arrival, targets[channel_id]._deliver, packet)
+            arrival, tx, channel_id, _seq, packet = pop(staged)
+            sim.call_at(
+                arrival, targets[channel_id]._deliver, packet, tie_key=tx
+            )
 
     # ---------------------------------------------------------------- drive
 
     def advance(self, until: float) -> None:
         """Run this shard's engine to physical time ``until`` (inclusive).
 
-        Conservative loop: each round establishes the global minimum
-        next-event time ``M``; every event strictly below ``M + L`` is
-        safe. Once the target is inside the horizon the final window runs
+        Conservative loop with YAWNS-style window batching: each full
+        round establishes the global minimum next-event time ``M``; every
+        event strictly below ``M + L`` is safe, and by induction sub-window
+        ``w`` (events strictly below ``M + (w+1)·L``) is safe once the
+        sends of sub-windows ``0..w-1`` have been shipped — they arrive no
+        earlier than the start of the window after the one that sent them.
+        So a busy region runs up to ``window_batch`` fixed-width windows
+        per round, paying only a cheap neighbor-only outbox swap per
+        boundary instead of a full-mesh advert exchange per window. Sparse
+        regions (the density verdict from :meth:`_exchange`) fall back to
+        one window per round because there the global-min grant jumps idle
+        gaps that a fixed-width march would crawl across.
+
+        Once the target is inside the horizon the final window runs
         inclusively to it — any event executed there sits at ``t >= M``,
         so packets it emits arrive at ``t + L' >= M + L > until`` and
         belong to a later ``advance``.
@@ -416,19 +527,25 @@ class ShardContext:
         lookahead = self.lookahead_s
         while True:
             lowest = self._exchange()
-            horizon = lowest + lookahead
-            if horizon > until:
-                limit = until
-            else:
-                # Execute strictly below the grant: run() is inclusive of
-                # its bound, so bound at the float just below the grant.
-                limit = math.nextafter(horizon, -math.inf)
-            self._inject(limit)
-            self._window_limit = limit
-            sim.run(until=limit)
-            if limit == until:
-                self._publish_counters()
-                return
+            batch = self.window_batch if self._dense else 1
+            for window in range(batch):
+                if window:
+                    self._swap_boundary(window)
+                horizon = lowest + (window + 1) * lookahead
+                if horizon > until:
+                    limit = until
+                else:
+                    # Execute strictly below the grant: run() is inclusive
+                    # of its bound, so bound at the float just below it.
+                    limit = math.nextafter(horizon, -math.inf)
+                self._inject(limit)
+                self._window_limit = limit
+                sim.run(until=limit)
+                self.windows += 1
+                self._windows_since_exchange += 1
+                if limit == until:
+                    self._publish_counters()
+                    return
 
     def all_agree(self, flag: bool) -> bool:
         """Consensus barrier: AND of ``flag`` across all shards.
@@ -453,6 +570,9 @@ class ShardContext:
     def _publish_counters(self) -> None:
         counters = self.sim.counters
         counters["shard.rounds"] = self.rounds
+        counters["shard.windows"] = self.windows
+        counters["shard.windows_per_round"] = round(
+            self.windows / self.rounds) if self.rounds else 0
         counters["shard.messages_in"] = self.messages_in
         counters["shard.messages_out"] = self.messages_out
         counters["shard.barrier_wait_ms"] = int(self.barrier_wait_s * 1000)
@@ -464,6 +584,9 @@ class ShardContext:
         return {
             "shard": self.shard_id,
             "rounds": self.rounds,
+            "windows": self.windows,
+            "windows_per_round":
+                round(self.windows / self.rounds, 3) if self.rounds else 0.0,
             "messages_in": self.messages_in,
             "messages_out": self.messages_out,
             "barrier_wait_s": self.barrier_wait_s,

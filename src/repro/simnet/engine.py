@@ -9,19 +9,30 @@ baseline runs of an experiment comparable event-for-event.
 
 Determinism
 -----------
-Two events at the same physical timestamp are ordered by a monotonically
-increasing sequence number assigned at scheduling time. Combined with seeded
-RNGs in the workloads, a simulation is a pure function of its configuration,
-which is what lets the benchmark harness assert that a dilated run matches
-its scaled baseline. :meth:`Event.reschedule` deliberately assigns a fresh
-sequence number on every re-keying so that a rescheduled timer ties exactly
-like the cancel-and-recreate pattern it replaces — optimisations must never
-change event order.
+Two events at the same physical timestamp are ordered by their **tie rank**
+and then by a monotonically increasing sequence number assigned at
+scheduling time. The rank is, by default, the simulator clock at the moment
+the event was scheduled (or last re-keyed), so in a single engine the full
+key ``(time, rank, seq)`` orders exactly like ``(time, seq)`` did — the
+rank is monotone in the seq and changes nothing. Its purpose is the
+*multi-engine* case: a scheduler that re-creates an event on another
+engine's queue (the sharded runner injecting a cross-shard delivery) may
+pass an explicit ``tie_key`` — the event's **original** creation instant —
+and the event then ties against same-timestamp locals (long-armed periodic
+timers especially) exactly where creation order would have put it, even
+though its local creation seq says "just now". Combined with seeded RNGs in
+the workloads, a simulation is a pure function of its configuration, which
+is what lets the benchmark harness assert that a dilated run matches its
+scaled baseline. :meth:`Event.reschedule` deliberately assigns a fresh
+sequence number (and, unless an explicit tie-key pins it, a fresh rank) on
+every re-keying so that a rescheduled timer ties exactly like the
+cancel-and-recreate pattern it replaces — optimisations must never change
+event order.
 
 Hot-path design
 ---------------
-The heap stores ``(time, seq, event)`` tuples so ordering comparisons run
-at C speed. Cancellation and rescheduling are *lazy*: the heap entry stays
+The heap stores ``(time, rank, seq, event)`` tuples so ordering comparisons
+run at C speed. Cancellation and rescheduling are *lazy*: the heap entry stays
 behind and is recognised as dead because its ``seq`` no longer matches the
 event's current ``seq`` (cancel sets the event's seq to -1; reschedule
 re-keys it). A live-event counter makes :meth:`Simulator.pending` O(1), and
@@ -63,15 +74,19 @@ def set_default_profiler(profiler) -> None:
 class Event:
     """A scheduled callback handle.
 
-    The heap itself stores ``(time, seq, event)`` tuples; the Event object
-    is the cancellation / rescheduling handle. A heap entry is live only
-    while its ``seq`` matches the event's current ``seq``: cancelling sets
-    the event's seq to -1 and rescheduling re-keys it, so stale entries are
-    skipped when popped (lazy deletion) or swept out by compaction.
+    The heap itself stores ``(time, rank, seq, event)`` tuples; the Event
+    object is the cancellation / rescheduling handle. A heap entry is live
+    only while its ``seq`` matches the event's current ``seq``: cancelling
+    sets the event's seq to -1 and rescheduling re-keys it, so stale entries
+    are skipped when popped (lazy deletion) or swept out by compaction.
+
+    ``tie_key`` is the optional explicit tie rank (see the module
+    docstring): ``None`` means "rank = scheduling instant", assigned anew on
+    every re-keying; a float pins the rank across :meth:`reschedule` calls.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim", "_live",
-                 "_transient")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "tie_key",
+                 "_sim", "_live", "_transient")
 
     def __init__(
         self,
@@ -80,12 +95,14 @@ class Event:
         fn: Callable[..., None],
         args: Tuple[Any, ...],
         sim: "Simulator",
+        tie_key: Optional[float] = None,
     ) -> None:
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.tie_key = tie_key
         self._sim = sim
         #: True while the event is queued and will fire (the simulator's
         #: live counter includes it).
@@ -125,7 +142,9 @@ class Event:
         fresh :meth:`Simulator.call_at` without allocating a new Event or
         closure. Works on pending, fired, *and* cancelled events — the
         latter two re-arm the timer. A fresh sequence number is assigned so
-        same-timestamp ordering is identical to cancel-and-recreate.
+        same-timestamp ordering is identical to cancel-and-recreate; the tie
+        rank is likewise re-derived from the current instant unless an
+        explicit ``tie_key`` was assigned, which is preserved verbatim.
         """
         sim = self._sim
         if time < sim._now:
@@ -140,7 +159,9 @@ class Event:
         self.time = time
         self.seq = seq = sim._seq
         sim._seq = seq + 1
-        heapq.heappush(sim._queue, (time, seq, self))
+        tie_key = self.tie_key
+        rank = sim._now if tie_key is None else tie_key
+        heapq.heappush(sim._queue, (time, rank, seq, self))
         if len(sim._queue) - sim._live > max(_COMPACT_MIN_DEAD, sim._live):
             sim._compact()
 
@@ -168,7 +189,7 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._queue: List[Tuple[float, int, Event]] = []
+        self._queue: List[Tuple[float, float, int, Event]] = []
         self._seq = 0
         self._live = 0
         self._running = False
@@ -219,10 +240,24 @@ class Simulator:
             raise SchedulingError(f"negative delay: {delay}")
         return self.call_at(self._now + delay, fn, *args)
 
-    def call_at(self, time: float, fn: Callable[..., None], *args: Any) -> Event:
+    def call_at(
+        self,
+        time: float,
+        fn: Callable[..., None],
+        *args: Any,
+        tie_key: Optional[float] = None,
+    ) -> Event:
         """Schedule ``fn(*args)`` at an absolute physical time.
 
         Scheduling in the past is an error: the world cannot be rewound.
+
+        ``tie_key`` overrides the event's tie rank for same-timestamp
+        ordering (default: the current instant, which reproduces plain
+        creation-order ties). The sharded runner passes the original
+        creation instant of re-injected cross-shard deliveries here so they
+        tie against local timers exactly as in a single-process run; the
+        key is sticky across :meth:`Event.reschedule`. Must not exceed
+        ``time`` — an event cannot outrank its own scheduling instant.
         """
         if time < self._now:
             raise SchedulingError(
@@ -230,10 +265,19 @@ class Simulator:
             )
         seq = self._seq
         self._seq = seq + 1
-        event = Event(time, seq, fn, args, self)
+        if tie_key is None:
+            event = Event(time, seq, fn, args, self)
+            rank = self._now
+        else:
+            if tie_key > time:
+                raise SchedulingError(
+                    f"tie_key {tie_key} is later than event time {time}"
+                )
+            event = Event(time, seq, fn, args, self, tie_key)
+            rank = tie_key
         self._live += 1
         queue = self._queue
-        heapq.heappush(queue, (time, seq, event))
+        heapq.heappush(queue, (time, rank, seq, event))
         if len(queue) > self.max_heap_len:
             self.max_heap_len = len(queue)
         return event
@@ -268,7 +312,7 @@ class Simulator:
             event._transient = True
         self._live += 1
         queue = self._queue
-        heapq.heappush(queue, (time, seq, event))
+        heapq.heappush(queue, (time, self._now, seq, event))
         if len(queue) > self.max_heap_len:
             self.max_heap_len = len(queue)
 
@@ -308,8 +352,8 @@ class Simulator:
         try:
             while queue and not self._stopped:
                 entry = queue[0]
-                event = entry[2]
-                if entry[1] != event.seq:
+                event = entry[3]
+                if entry[2] != event.seq:
                     # Dead entry: cancelled or re-keyed by reschedule().
                     heappop(queue)
                     self.dead_entries_reaped += 1
@@ -367,7 +411,7 @@ class Simulator:
         queue = self._queue
         if queue:
             entry = queue[0]
-            if entry[1] == entry[2].seq:
+            if entry[2] == entry[3].seq:
                 return entry[0]
             return self._peek_slow()
         return None
@@ -379,7 +423,7 @@ class Simulator:
         result: Optional[float] = None
         while queue:
             entry = queue[0]
-            if entry[1] == entry[2].seq:
+            if entry[2] == entry[3].seq:
                 result = entry[0]
                 break
             heapq.heappop(queue)
@@ -401,7 +445,7 @@ class Simulator:
         """
         queue = self._queue
         before = len(queue)
-        queue[:] = [entry for entry in queue if entry[1] == entry[2].seq]
+        queue[:] = [entry for entry in queue if entry[2] == entry[3].seq]
         heapq.heapify(queue)
         self.compactions += 1
         self.dead_entries_reaped += before - len(queue)

@@ -226,19 +226,25 @@ def partition_network(
 
 
 def suggest_assignment(net: Network, shards: int) -> Dict[str, int]:
-    """A deterministic default assignment: islands balanced by node count.
+    """A deterministic default assignment: islands balanced by link degree.
 
     Nodes joined by a link with no lookahead (zero delay, or jitter equal
     to the delay) can never be separated, so they are first contracted
-    into atoms (union-find); atoms are then dealt round-robin, largest
-    first, to the currently lightest shard. Ties break on first-node
-    construction order, so the result is a pure function of the topology.
-    Workload-aware runners (the swarm, the dumbbell) pass their own
-    assignment instead — this helper is the generic fallback.
+    into atoms (union-find); atoms are then dealt round-robin, heaviest
+    first, to the currently lightest shard. Weight is the atom's summed
+    *link degree*, not its node count: a shard's event load scales with
+    the traffic its interfaces carry, and degree is the static proxy for
+    that — a star's hub node alone outweighs any handful of leaves, so
+    degree weighting stops the balancer from packing "one hub plus half
+    the leaves" into one shard the way node counting did. Ties break on
+    first-node construction order, so the result is a pure function of
+    the topology. Workload-aware runners (the swarm, the dumbbell) pass
+    their own assignment instead — this helper is the generic fallback.
     """
     if shards < 1:
         raise ConfigurationError(f"shard count must be >= 1: {shards}")
     order = {name: index for index, name in enumerate(net.nodes)}
+    degree = {name: 0 for name in net.nodes}
     parent: Dict[str, str] = {name: name for name in net.nodes}
 
     def find(name: str) -> str:
@@ -248,6 +254,8 @@ def suggest_assignment(net: Network, shards: int) -> Dict[str, int]:
         return name
 
     for link in net.links:
+        degree[link.node_a.name] += 1
+        degree[link.node_b.name] += 1
         if min(
             link.a_to_b.delay_s - link.a_to_b.jitter_s,
             link.b_to_a.delay_s - link.b_to_a.jitter_s,
@@ -260,14 +268,19 @@ def suggest_assignment(net: Network, shards: int) -> Dict[str, int]:
     atoms: Dict[str, List[str]] = {}
     for name in net.nodes:
         atoms.setdefault(find(name), []).append(name)
+
+    def weight(members: List[str]) -> int:
+        return sum(degree[name] for name in members)
+
     ordered = sorted(
-        atoms.values(), key=lambda members: (-len(members), order[members[0]])
+        atoms.values(),
+        key=lambda members: (-weight(members), order[members[0]]),
     )
     loads = [0] * shards
     assignment: Dict[str, int] = {}
     for members in ordered:
         shard = min(range(shards), key=lambda s: (loads[s], s))
-        loads[shard] += len(members)
+        loads[shard] += weight(members)
         for name in members:
             assignment[name] = shard
     return assignment

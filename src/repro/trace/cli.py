@@ -63,6 +63,13 @@ def _build_parser() -> argparse.ArgumentParser:
              "captures the same cell at --shards 1 and 2 and diffs the "
              "recordings to pin event-for-event identity",
     )
+    capture.add_argument(
+        "--salt", type=float, default=None, metavar="S",
+        help="explicit delay_salt for swarm cells (run_bittorrent only). "
+             "--shards 2+ salts swarm cells automatically; pass the same "
+             "value here on the --shards 1 baseline so both recordings "
+             "trace the identical salted simulation",
+    )
 
     export = sub.add_parser(
         "export", help="synthesize a pcap from a JSONL recording",
@@ -154,12 +161,21 @@ def _cmd_capture(args: argparse.Namespace) -> int:
                   f"{', '.join(sorted(SHARDABLE_RUNNERS))})",
                   file=sys.stderr)
             return 2
+    if args.salt is not None:
+        unsaltable = [s.key for s in cells if s.runner != "run_bittorrent"]
+        if unsaltable:
+            print(f"--salt only applies to swarm cells; not saltable: "
+                  f"{', '.join(unsaltable)}", file=sys.stderr)
+            return 2
     os.makedirs(args.out, exist_ok=True)
     for spec in cells:
+        base = dict(spec.kwargs)
+        if args.salt is not None:
+            base["delay_salt"] = args.salt
         if args.shards != 1:
-            kwargs = shard_cell_kwargs(spec.runner, spec.kwargs, args.shards)
+            kwargs = shard_cell_kwargs(spec.runner, base, args.shards)
         else:
-            kwargs = dict(spec.kwargs)
+            kwargs = base
         kwargs["trace"] = trace
         traced = CellSpec(spec.figure_id, spec.key, spec.runner, kwargs)
         result, _ = execute_cell(traced)

@@ -1,0 +1,80 @@
+"""YAWNS window batching: fewer barrier rounds, bit-identical results.
+
+PR 6's conservative loop paid one full-mesh advert exchange per lookahead
+window — 4.7k rounds on the 250-peer swarm. Batching grants up to
+``REPRO_SHARD_WINDOW_BATCH`` consecutive windows per round (separated by
+neighbor-only outbox swaps), which must change *nothing* about the
+simulation: the tie-rank channel makes event order independent of where
+window boundaries fall, so these tests pin both halves — the round count
+collapses, and every result field stays bit-equal to the unbatched engine.
+"""
+
+import pytest
+
+from repro.core.dilation import NetworkProfile
+from repro.harness.experiments import run_bulk
+from repro.parallel.shard import ShardContext
+from repro.simnet.units import mbps, ms
+
+#: The fig3 sharded-capture cell (rtt40-tdf1): 40 ms RTT dumbbell, 6
+#: virtual seconds — the topology/duration the CI zero-divergence gate
+#: captures, and the issue's ">= 3x fewer rounds" acceptance surface.
+BULK_PROFILE = NetworkProfile.from_rtt(mbps(10), ms(40))
+BULK_KWARGS = dict(perceived=BULK_PROFILE, tdf=1, duration_s=6.0,
+                   warmup_s=2.0, flows=1)
+
+#: Acceptance bar: batched rounds must be at least this factor below the
+#: one-window-per-round engine, on any machine (it is a counting
+#: property, not a wall-clock one).
+REQUIRED_ROUNDS_DROP = 3.0
+
+
+def _rounds(result):
+    return result.shard_stats[0]["rounds"]
+
+
+def test_batched_windows_identical_results_and_3x_fewer_rounds(monkeypatch):
+    monkeypatch.setenv("REPRO_SHARD_WINDOW_BATCH", "1")
+    unbatched = run_bulk(**BULK_KWARGS, shards=2)
+    monkeypatch.delenv("REPRO_SHARD_WINDOW_BATCH")
+    batched = run_bulk(**BULK_KWARGS, shards=2)
+
+    assert batched.per_flow_goodput_bps == unbatched.per_flow_goodput_bps
+    assert batched.events_processed == unbatched.events_processed
+    assert batched.retransmits == unbatched.retransmits
+
+    drop = _rounds(unbatched) / _rounds(batched)
+    assert drop >= REQUIRED_ROUNDS_DROP, (
+        f"batching only cut rounds {drop:.2f}x "
+        f"({_rounds(unbatched)} -> {_rounds(batched)}; required "
+        f"{REQUIRED_ROUNDS_DROP}x)"
+    )
+    # The new counters tell the story: every round ran multiple windows.
+    stats = batched.shard_stats[0]
+    assert stats["windows"] > stats["rounds"]
+    assert stats["windows_per_round"] >= REQUIRED_ROUNDS_DROP
+    # Both shards march the same window sequence by construction.
+    assert batched.shard_stats[1]["windows"] == stats["windows"]
+    assert batched.shard_stats[1]["rounds"] == stats["rounds"]
+
+
+def test_unbatched_engine_rounds_track_windows(monkeypatch):
+    """With the batch cap at 1 the engine is PR 6's: one window per
+    round, so the two counters coincide."""
+    monkeypatch.setenv("REPRO_SHARD_WINDOW_BATCH", "1")
+    result = run_bulk(**BULK_KWARGS, shards=2)
+    for stats in result.shard_stats:
+        assert stats["windows"] == stats["rounds"]
+        assert stats["windows_per_round"] == 1.0
+
+
+@pytest.mark.parametrize(
+    ("raw", "expected"),
+    [("8", 8), ("1", 1), ("0", 1), ("-3", 1), ("", 8)],
+)
+def test_window_batch_env_parsing(monkeypatch, raw, expected):
+    """The env knob floors at 1 (a zero-window round cannot progress)
+    and an empty value means the default."""
+    monkeypatch.setenv("REPRO_SHARD_WINDOW_BATCH", raw)
+    ctx = ShardContext(0, 1, {}, {})
+    assert ctx.window_batch == expected

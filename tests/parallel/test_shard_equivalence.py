@@ -51,6 +51,28 @@ def test_bulk_two_shards_event_for_event_identical():
     assert all(s["rounds"] > 0 for s in sharded.shard_stats)
 
 
+def test_unsalted_symmetric_bulk_event_for_event_identical():
+    """Regression for the ``shard_cell_kwargs`` default-salt gap: sharded
+    ``run_bulk`` cells get no ``delay_salt`` (the kwarg does not even
+    exist for bulk), so this pins the reason that is safe — a multi-flow
+    dumbbell's flows are perfectly symmetric, yet every cross-shard
+    channel (one per bottleneck direction) carries FIFO-ordered traffic
+    whose (arrival, tx_finish) keys never tie across channels, so the
+    unsalted run is exact to the trace level, not just in aggregates."""
+    kwargs = dict(perceived=BULK_PROFILE, tdf=1, duration_s=8.0, flows=3,
+                  trace=TraceSpec(point="bottleneck"))
+    single = run_bulk(**kwargs)
+    sharded = run_bulk(**kwargs, shards=2)
+    assert _fields(sharded) == _fields(single)
+    assert sharded.events_processed == single.events_processed
+    assert len(sharded.trace_events) == len(single.trace_events)
+    report = diff_traces(single.trace_events, sharded.trace_events)
+    assert report.identical, report.render(
+        label_a="shards=1", label_b="shards=2"
+    )
+    assert report.events_compared > 0
+
+
 @pytest.mark.parametrize("shards", [2, 3])
 def test_salted_swarm_identical_across_shard_counts(shards):
     kwargs = dict(perceived_leaf=PROFILE, tdf=1, leechers=4,
@@ -94,6 +116,26 @@ def test_unsalted_symmetric_swarm_aggregates_exact():
     assert sharded.download_times_s == pytest.approx(
         single.download_times_s, abs=0.05
     )
+
+
+def test_timer_salt_applies_identically_sharded_and_single():
+    """``timer_salt`` (the symmetry-breaking fallback for specs that keep
+    link delays exact) must derive from the full roster, not from shard
+    ownership: a salted-timer sharded run stays event-for-event identical
+    to its single-process twin."""
+    kwargs = dict(perceived_leaf=PROFILE, tdf=1, leechers=4,
+                  file_bytes=128 * 1024, seed=99, delay_salt=1e-6,
+                  timer_salt=1e-3)
+    single = run_bittorrent(**kwargs)
+    sharded = run_bittorrent(**kwargs, shards=2)
+    assert _fields(sharded) == _fields(single)
+    # And the salt is real: it perturbs the run relative to unsalted
+    # timers (otherwise this test would pass vacuously).
+    unsalted = run_bittorrent(
+        perceived_leaf=PROFILE, tdf=1, leechers=4,
+        file_bytes=128 * 1024, seed=99, delay_salt=1e-6,
+    )
+    assert single.events_processed != unsalted.events_processed
 
 
 def test_shards_one_is_the_plain_engine():

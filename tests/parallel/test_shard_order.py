@@ -30,8 +30,8 @@ class _FakeSim:
         self.now = 0.0
         self.injected = []
 
-    def call_at(self, time, fn, *args):
-        self.injected.append((time, fn, args))
+    def call_at(self, time, fn, *args, tie_key=None):
+        self.injected.append((time, fn, args, tie_key))
 
 
 class _FakeIface:
@@ -61,8 +61,8 @@ def _injection_order(items, targets):
     ctx._targets = targets
     _stage(ctx, items)
     ctx._inject(limit=float("inf"))
-    return [time for time, _fn, _args in ctx.sim.injected], [
-        args[0] for _t, _fn, args in ctx.sim.injected
+    return [time for time, _fn, _args, _key in ctx.sim.injected], [
+        args[0] for _t, _fn, args, _key in ctx.sim.injected
     ]
 
 
@@ -102,7 +102,7 @@ def test_barrier_round_split_does_not_change_order():
     _stage(ctx, traffic[2:])          # "second round" data arrives first
     _stage(ctx, traffic[:2])
     ctx._inject(limit=float("inf"))
-    split_rounds = [args[0] for _t, _fn, args in ctx.sim.injected]
+    split_rounds = [args[0] for _t, _fn, args, _key in ctx.sim.injected]
     assert split_rounds == one_round == ["x1", "y1", "x2", "y2"]
 
 
@@ -117,10 +117,10 @@ def test_injection_respects_window_limit():
         (2.0, 1.9, 0, 2, "out"),
     ])
     ctx._inject(limit=1.5)
-    assert [args[0] for _t, _fn, args in ctx.sim.injected] == ["in"]
+    assert [args[0] for _t, _fn, args, _key in ctx.sim.injected] == ["in"]
     assert len(ctx._staged) == 1
     ctx._inject(limit=2.5)
-    assert [args[0] for _t, _fn, args in ctx.sim.injected] == ["in", "out"]
+    assert [args[0] for _t, _fn, args, _key in ctx.sim.injected] == ["in", "out"]
 
 
 def test_local_channel_stages_beyond_window_and_schedules_within():
@@ -132,7 +132,7 @@ def test_local_channel_stages_beyond_window_and_schedules_within():
     ctx.sim.now = 0.8
 
     channel.send(0.9, "inside")     # within the executing window
-    assert [args[0] for _t, _fn, args in ctx.sim.injected] == ["inside"]
+    assert [args[0] for _t, _fn, args, _key in ctx.sim.injected] == ["inside"]
 
     channel.send(1.5, "beyond")     # crosses the window boundary
     assert len(ctx._staged) == 1
@@ -180,3 +180,58 @@ def test_fuzzed_interleavings_converge():
         rng.shuffle(shuffled)
         _t, packets = _injection_order(shuffled, targets)
         assert packets == reference
+
+
+class _RecordingIface:
+    """Delivery target whose log is the observable execution order."""
+
+    def __init__(self, log):
+        self._log = log
+
+    def _deliver(self, packet):
+        self._log.append(packet)
+
+
+def test_mixed_timer_and_delivery_ties_resolve_by_creation_rank():
+    """The tie-key channel end to end, on the real engine: same-timestamp
+    periodic timers and injected cross-shard deliveries must execute in
+    single-process creation order — timers rank at their arming instant,
+    deliveries at their original transmit-finish — for every staging
+    interleaving of the delivery bundle."""
+    from repro.simnet.engine import Simulator
+
+    # Deliveries all arrive at t=5.0; their transmits finished at 0.5,
+    # 2.5 and 4.5. Timers fire at t=5.0 too, armed at 1.0 and 3.0. The
+    # single-process creation order is therefore strictly by instant:
+    expected = ["d@0.5", "t@1.0", "d@2.5", "t@3.0", "d@4.5"]
+    items = [
+        # (arrival, tx_finish, channel_id, channel_seq, packet)
+        (5.0, 4.5, 2, 1, "d@4.5"),
+        (5.0, 0.5, 7, 1, "d@0.5"),
+        (5.0, 2.5, 4, 1, "d@2.5"),
+    ]
+    for perm in itertools.permutations(items):
+        log = []
+        sim = Simulator()
+        ctx = ShardContext(0, 1, {}, {})
+        ctx.sim = sim
+        ctx._targets = {
+            channel: _RecordingIface(log) for _, _, channel, _, _ in items
+        }
+        sim.call_at(1.0, sim.call_at, 5.0, log.append, "t@1.0")
+        sim.call_at(3.0, sim.call_at, 5.0, log.append, "t@3.0")
+        sim.run(until=4.75)           # timers armed; window start reached
+        _stage(ctx, list(perm))
+        ctx._inject(limit=5.0)        # injection order: staged key order
+        sim.run(until=5.0)
+        assert log == expected, f"perm={perm} -> {log}"
+
+
+def test_injected_delivery_carries_tx_finish_as_tie_key():
+    targets = {3: _FakeIface("a")}
+    ctx = _context()
+    ctx._targets = targets
+    _stage(ctx, [(2.0, 1.25, 3, 1, "pkt")])
+    ctx._inject(limit=2.0)
+    [(time, _fn, args, tie_key)] = ctx.sim.injected
+    assert (time, args[0], tie_key) == (2.0, "pkt", 1.25)

@@ -374,3 +374,77 @@ def test_heap_len_counts_dead_entries():
     event.reschedule(2.0)
     assert sim.pending() == 1
     assert sim.heap_len() == 2  # live entry + stale re-keyed entry
+
+
+# ------------------------------------------------------------ tie-key channel
+
+
+def test_tie_key_outranks_later_created_same_time_events():
+    """An explicit tie_key claims the event's original creation instant:
+    a delivery re-created "now" with the key of an old transmit fires
+    before a timer armed after that transmit, despite its younger seq."""
+    sim = Simulator()
+    order = []
+
+    def arm():
+        # A periodic-style timer armed at t=2 for t=5 (rank 2.0)...
+        sim.call_at(5.0, order.append, "timer")
+        # ...and an injected delivery whose original creation was t=1.
+        sim.call_at(5.0, order.append, "delivery", tie_key=1.0)
+
+    sim.schedule(2.0, arm)
+    sim.run()
+    assert order == ["delivery", "timer"]
+
+
+def test_default_rank_reproduces_creation_order():
+    """Without tie_key the rank is the scheduling instant, which is
+    monotone in seq — ordering is exactly the historical (time, seq)."""
+    sim = Simulator()
+    order = []
+    sim.call_at(5.0, order.append, "first")
+    sim.call_at(5.0, order.append, "second")
+    sim.schedule(1.0, lambda: sim.call_at(5.0, order.append, "third"))
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_reschedule_preserves_explicit_tie_key():
+    """Re-arming a keyed event must not lose its rank: the sharded
+    engine's injected deliveries may be rescheduled by components (TCP
+    RTO reuse), and a dropped key would re-introduce creation-seq skew."""
+    sim = Simulator()
+    order = []
+    keyed = sim.call_at(3.0, order.append, "keyed", tie_key=0.5)
+    assert keyed.tie_key == 0.5
+
+    def rearm():
+        keyed.reschedule(5.0)          # rank must stay 0.5, not become 2.0
+        sim.call_at(5.0, order.append, "timer")  # rank 2.0
+
+    sim.schedule(2.0, rearm)
+    sim.run()
+    assert keyed.tie_key == 0.5
+    assert order == ["keyed", "timer"]
+
+
+def test_reschedule_rederives_default_rank():
+    """An unkeyed event re-keys its rank to the reschedule instant —
+    identical to cancel-and-recreate, the reschedule contract."""
+    sim = Simulator()
+    order = []
+    plain = sim.call_at(3.0, order.append, "rearmed")
+
+    def rearm():
+        plain.reschedule(5.0)                      # rank becomes 2.0
+        sim.call_at(5.0, order.append, "keyed", tie_key=1.0)
+
+    sim.schedule(2.0, rearm)
+    sim.run()
+    assert order == ["keyed", "rearmed"]
+
+
+def test_tie_key_later_than_event_time_rejected():
+    sim = Simulator()
+    with pytest.raises(SchedulingError, match="tie_key"):
+        sim.call_at(1.0, lambda: None, tie_key=2.0)

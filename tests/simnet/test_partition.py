@@ -124,17 +124,74 @@ def test_single_shard_partition_is_trivially_valid():
     assert partition.lookahead_s == float("inf")
 
 
+def _degree_loads(net, assignment, shards):
+    """Per-shard summed link degree under ``assignment``."""
+    loads = [0] * shards
+    for link in net.links:
+        for node in (link.node_a, link.node_b):
+            loads[assignment[node.name]] += 1
+    return loads
+
+
 def test_suggest_assignment_is_deterministic_and_balanced():
     star = _star(leaves=5)
     first = suggest_assignment(star.network, 2)
     second = suggest_assignment(star.network, 2)
     assert first == second
-    sizes = sorted(
-        sum(1 for shard in first.values() if shard == s) for s in range(2)
-    )
-    assert sizes == [3, 3]  # 6 nodes balanced 3/3
+    # Degree-weighted dealing: the hub (degree 5) is one shard's whole
+    # load; all five leaves (degree 1 each) balance it exactly on the
+    # other. Node-count balancing would have split "hub + 2 leaves" vs
+    # "3 leaves" — a 7:3 degree (and event-load) skew.
+    loads = sorted(_degree_loads(star.network, first, 2))
+    assert loads == [5, 5]
+    hub_shard = first["hub"]
+    assert all(first[f"h{i}"] != hub_shard for i in range(5))
     # And the suggestion must survive its own validation.
     partition_network(star.network, 2, first)
+
+
+def test_suggest_assignment_balance_ratio():
+    """The heaviest shard's degree load stays within 1.5x of the ideal
+    even split — unless a single unsplittable atom (a star's hub) is
+    itself heavier than that, in which case the atom is the floor and
+    the balancer must not exceed it."""
+    cases = [
+        (_star(leaves=12).network, 2),
+        (_star(leaves=12).network, 3),
+        (build_dumbbell(4, mbps(100), mbps(10), ms(20),
+                        access_delay_s=ms(1)).network, 2),
+    ]
+    for net, shards in cases:
+        assignment = suggest_assignment(net, shards)
+        loads = _degree_loads(net, assignment, shards)
+        heaviest_atom = max(
+            sum(1 for link in net.links
+                if node.name in (link.node_a.name, link.node_b.name))
+            for node in (net.node(name) for name in net.nodes)
+        )
+        bound = max(heaviest_atom, 1.5 * sum(loads) / shards)
+        assert max(loads) <= bound, (
+            f"degree loads {loads} over {shards} shards (bound {bound})"
+        )
+
+
+def test_swarm_assignment_stripes_seed_off_hub_shard():
+    """The workload-aware swarm split keeps the two traffic magnets —
+    hub (forwards everything) and seed (transmits every original piece
+    copy) — on different shards, and gives the hub's shard fewer
+    leechers to compensate."""
+    from repro.harness.experiments import _swarm_assignment
+
+    for shards in (2, 3):
+        assignment = _swarm_assignment(leechers=24, shards=shards)
+        assert assignment["hub"] == 0
+        assert assignment["h0"] == 0          # tracker rides with the hub
+        assert assignment["h1"] == 1          # seed striped out
+        leecher_counts = [0] * shards
+        for index in range(24):
+            leecher_counts[assignment[f"h{index + 2}"]] += 1
+        assert all(count > 0 for count in leecher_counts)
+        assert leecher_counts[0] == min(leecher_counts)
 
 
 def test_suggest_assignment_contracts_zero_delay_links():

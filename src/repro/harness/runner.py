@@ -71,7 +71,10 @@ __all__ = [
 #:    suppression) invalidated old swarm results anyway.
 #: 4: BulkFlowResult / BitTorrentResult gained ``shard_stats`` (schema-3
 #:    pickles lack the field and would break attribute access on merge).
-CACHE_SCHEMA = 4
+#: 5: cells gained the ``fidelity`` axis (hybrid fluid/packet engine);
+#:    tokens for fidelity-capable runners now cover the new kwarg, and
+#:    results carry ``fluid.*`` counters schema-4 pickles lack.
+CACHE_SCHEMA = 5
 
 #: Default on-disk cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -451,6 +454,32 @@ def _apply_shards(cells: List[CellSpec],
     return out, sharded
 
 
+def _apply_fidelity(cells: List[CellSpec],
+                    fidelity: str) -> Tuple[List[CellSpec], int]:
+    """Thread ``fidelity`` into every fluid-capable cell; returns (cells, count).
+
+    Like :func:`_apply_shards`, a hybrid cell is a *different* cell from
+    its packet twin (the token covers kwargs), so hybrid results never
+    alias packet cache entries — the values are statistically equivalent,
+    not bit-identical, and their ``fluid.*`` counters differ. Runners
+    without the fidelity axis pass through and run packet-level.
+    """
+    from .experiments import FLUID_RUNNERS
+
+    out: List[CellSpec] = []
+    rewritten = 0
+    for spec in cells:
+        if spec.runner in FLUID_RUNNERS:
+            kwargs = dict(spec.kwargs)
+            kwargs["fidelity"] = fidelity
+            out.append(CellSpec(spec.figure_id, spec.key, spec.runner,
+                                kwargs))
+            rewritten += 1
+        else:
+            out.append(spec)
+    return out, rewritten
+
+
 def _recorder_events(spec: CellSpec, value: Any) -> Optional[int]:
     """Captured-event count for a traced cell's result (None if untraced)."""
     if spec.kwargs.get("trace") is None:
@@ -474,6 +503,7 @@ def run_sweep(
     collect_timings: bool = False,
     trace: Optional[TraceSpec] = None,
     shards: int = 1,
+    fidelity: str = "packet",
 ) -> SweepOutcome:
     """Execute figures as a deduplicated cell sweep and merge in spec order.
 
@@ -495,6 +525,13 @@ def run_sweep(
     processes, multiplying with ``--jobs`` — budget ``jobs * shards``
     against the machine's cores. Requesting shards for figures with no
     shardable cells is an error.
+
+    ``fidelity="hybrid"`` switches every fluid-capable cell (see
+    :data:`repro.harness.experiments.FLUID_RUNNERS`) to the hybrid
+    fluid/packet engine; results are statistically equivalent to packet
+    level (gated by :func:`repro.harness.validate.compare_metrics`) but
+    not bit-identical, and cache under separate tokens. Requesting hybrid
+    for figures with no fluid-capable cells is an error.
     """
     from .figures import CELL_MODEL
 
@@ -526,6 +563,15 @@ def run_sweep(
                 raise ValueError(
                     f"experiment {figure_id!r} has no shardable cells "
                     f"(shardable runners: {', '.join(sorted(SHARDABLE_RUNNERS))})"
+                )
+        if fidelity != "packet":
+            cells, fluid_cells = _apply_fidelity(cells, fidelity)
+            if fluid_cells == 0:
+                from .experiments import FLUID_RUNNERS
+
+                raise ValueError(
+                    f"experiment {figure_id!r} has no fluid-capable cells "
+                    f"(fluid runners: {', '.join(sorted(FLUID_RUNNERS))})"
                 )
         per_figure[figure_id] = cells
         for spec in cells:

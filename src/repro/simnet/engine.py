@@ -218,6 +218,11 @@ class Simulator:
         #: :class:`repro.stats.engineprof.EngineProfiler` and
         #: :class:`repro.stats.flows.FlowMonitor`.
         self.counters: Dict[str, int] = {}
+        #: Optional :class:`repro.simnet.fluid.FluidManager` — the hybrid-
+        #: fidelity fast path. ``None`` (pure packet mode) costs the TCP
+        #: ACK path one is-None check; installing a manager never changes
+        #: packet-level event ordering, only which flows leave it.
+        self.fluid = None
         if _default_profiler is not None:
             self.attach_profiler(_default_profiler)
 

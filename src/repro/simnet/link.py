@@ -67,6 +67,15 @@ class Link:
         node_a.add_interface(self.a_to_b)
         node_b.add_interface(self.b_to_a)
 
+    def fluid_transparent(self) -> bool:
+        """True when *both* directions are pure delay+bandwidth pipes the
+        fluid fast path can model (see :meth:`Interface.fluid_transparent`
+        and :mod:`repro.simnet.fluid`). Links created with jitter, RED
+        queues or later decorated with impairments report False."""
+        return (
+            self.a_to_b.fluid_transparent() and self.b_to_a.fluid_transparent()
+        )
+
     def interface_from(self, node: Node) -> Interface:
         """The egress interface this link offers to ``node``."""
         if node is self.node_a:

@@ -133,6 +133,28 @@ class Interface:
         """Attach (or clear) an impairment pipeline on this egress."""
         self._impairments = chain
 
+    def fluid_transparent(self) -> bool:
+        """True when this egress is a pure delay+bandwidth+droptail pipe.
+
+        The fluid fast path (:mod:`repro.simnet.fluid`) may only model a
+        hop it can express in closed form: no loss injector, impairment
+        chain, tap, recorder or jitter (all per-packet decisions), no
+        cross-shard egress channel (those packets must really cross the
+        boundary inside the lookahead window), and a drop-tail queue.
+        Re-checked every fluid step, so installing any of these mid-run
+        demotes the flows riding this hop back to packet level.
+        """
+        return (
+            self.up
+            and self.egress_channel is None
+            and self.loss_fn is None
+            and self._impairments is None
+            and not self._taps
+            and self.recorder is None
+            and self.jitter_s == 0
+            and getattr(self.queue, "fluid_transparent", False)
+        )
+
     @property
     def down_drops(self) -> int:
         """Packets dropped because the interface was administratively down."""

@@ -51,6 +51,12 @@ class DropTailQueue:
     if both are given, whichever limit is hit first causes the drop.
     """
 
+    #: Drop-tail is the one discipline the fluid fast path can model in
+    #: closed form (occupancy = window minus BDP, overflow = loss); any
+    #: other discipline keeps its flows packet-level. See
+    #: :mod:`repro.simnet.fluid`.
+    fluid_transparent = True
+
     def __init__(
         self,
         capacity_packets: Optional[int] = 100,
@@ -123,6 +129,9 @@ class DropTailQueue:
 
 class REDQueue:
     """Random Early Detection.
+
+    Not ``fluid_transparent``: RED's probabilistic early drops depend on
+    per-packet arrival history, which the fluid model cannot reproduce.
 
     The average queue length is tracked with an exponentially weighted
     moving average updated on every arrival. Between ``min_th`` and

@@ -122,6 +122,13 @@ class ShapedInterface:
         self.shaped_packets = 0
         self.dropped_packets = 0
 
+    def fluid_transparent(self) -> bool:
+        """Never fluid-eligible: token-bucket pacing is a per-packet
+        decision process the closed-form flow model cannot reproduce, so
+        any route through a shaper keeps its flows packet-level (see
+        :mod:`repro.simnet.fluid`)."""
+        return False
+
     def send(self, packet: Packet) -> None:
         """Node-facing entry point (duck-typed like an Interface)."""
         if (

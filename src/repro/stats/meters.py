@@ -87,9 +87,20 @@ class LatencyMeter:
         self._open: dict = {}
         self.summary = Summary()
         self.samples: List[float] = []
+        #: Unfinished timings discarded by a ``start()`` on the same key.
+        #: Each one is a measurement that silently vanished — an operation
+        #: that was started, never stopped, and then restarted — so callers
+        #: auditing in-flight losses can reconcile start/stop counts.
+        self.overwrites = 0
 
     def start(self, key) -> None:
-        """Begin timing ``key`` (overwrites an unfinished timing)."""
+        """Begin timing ``key`` (overwrites an unfinished timing).
+
+        The discarded timing, if any, is counted in :attr:`overwrites`
+        rather than dropped without trace.
+        """
+        if key in self._open:
+            self.overwrites += 1
         self._open[key] = self.clock.now()
 
     def stop(self, key) -> Optional[float]:
@@ -106,3 +117,9 @@ class LatencyMeter:
     def in_flight(self) -> int:
         """Operations started but not yet stopped."""
         return len(self._open)
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencyMeter(samples={len(self.samples)}, "
+            f"in_flight={self.in_flight}, overwrites={self.overwrites})"
+        )

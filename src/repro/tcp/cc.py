@@ -49,6 +49,12 @@ class CongestionControl(abc.ABC):
     #: Tahoe lacks fast recovery; the socket checks this flag.
     supports_fast_recovery = True
 
+    #: Whether the hybrid-fidelity fast path (:mod:`repro.simnet.fluid`)
+    #: may advance this flavor analytically. Only the classic AIMD
+    #: arithmetic (Reno/NewReno) has a faithful closed form; delay-based
+    #: (Vegas), cubic-growth and Tahoe flows stay packet-level.
+    supports_fluid = False
+
     name = "abstract"
 
     def __init__(self, mss: int) -> None:
@@ -132,6 +138,7 @@ class Tahoe(CongestionControl):
 class Reno(CongestionControl):
     """RFC 5681 fast retransmit / fast recovery."""
 
+    supports_fluid = True
     name = "reno"
 
 

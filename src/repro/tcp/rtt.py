@@ -35,10 +35,15 @@ class RttEstimator:
         self.min_rto = min_rto
         self.max_rto = max_rto
         self.granularity = granularity
-        self._initial_rto = initial_rto
+        # Clamp into [min_rto, max_rto] up front: a super-max initial RTO
+        # would make backoff()'s multiplier cap collapse to 1.0 (backoff
+        # permanently disabled) until the first RTT sample re-derived _rto.
+        # reset() restores the *clamped* value so the invariant survives
+        # connection restarts too.
+        self._initial_rto = min(max(initial_rto, min_rto), max_rto)
         self.srtt: Optional[float] = None
         self.rttvar: Optional[float] = None
-        self._rto = initial_rto
+        self._rto = self._initial_rto
         self._backoff = 1
         self.samples = 0
 

@@ -151,6 +151,20 @@ class TcpSocket:
         #: Last cwnd value reported to the recorder (dedups 'cwnd' events).
         self._traced_cwnd = -1.0
 
+        # ---- hybrid-fidelity hooks (see repro.simnet.fluid)
+        #: While a FluidManager drains or owns this flow, no new data may
+        #: enter the packet network; _try_send parks on this flag.
+        self._fluid_hold = False
+        #: After a fluid->packet handback the usable window is capped here
+        #: while the manager's pacing timers re-open it over one srtt.
+        self._pace_window: Optional[float] = None
+        #: New-data ACKs remaining before fluid re-entry is considered.
+        self._fluid_cooldown = 0
+        #: Loss-quiet tracking for the fluid predicate: last observed
+        #: (fast_retransmits, timeouts) pair and when it last changed.
+        self._fluid_loss_stat = (0, 0)
+        self._fluid_last_loss = float("-inf")
+
         self.state = CLOSED
 
         # ---- sender state (sequence space: SYN=0, data starts at 1)
@@ -361,9 +375,15 @@ class TcpSocket:
         if self.state not in (ESTABLISHED, CLOSE_WAIT, FIN_WAIT_1, LAST_ACK,
                               CLOSING):
             return
+        if self._fluid_hold:
+            # The fluid fast path owns (or is draining) this flow; it will
+            # hand the window back and call us when packet mode resumes.
+            return
         sent_any = False
         while True:
             window = min(self.cc.cwnd, self.snd_wnd)
+            if self._pace_window is not None:
+                window = min(window, self._pace_window)
             if self._dupacks in (1, 2) and not self._in_recovery:
                 # Limited transmit (RFC 3042): the two early dupacks let us
                 # send one new segment each to keep the ACK clock running.
@@ -505,6 +525,11 @@ class TcpSocket:
     def _on_rto(self) -> None:
         if self.state == CLOSED:
             return
+        fluid = self.node.sim.fluid
+        if fluid is not None:
+            # A timeout mid-drain means the tail of the flight was lost;
+            # release the hold so go-back-N below can actually retransmit.
+            fluid.on_timeout(self)
         self._retries += 1
         self.timeouts += 1
         counters = self.node.sim.counters
@@ -927,8 +952,16 @@ class TcpSocket:
             self.on_acked(self, stream_acked)
         self._after_ack_state_transitions(ack)
         self._try_send()
+        fluid = self.node.sim.fluid
+        if fluid is not None:
+            fluid.on_ack(self)
 
     def _process_dup_ack(self) -> None:
+        fluid = self.node.sim.fluid
+        if fluid is not None:
+            # A duplicate ACK is loss evidence the fluid model cannot
+            # express; hand the flow back before recovery state mutates.
+            fluid.on_dupack(self)
         self._dupacks += 1
         self.dupacks_received += 1
         counters = self.node.sim.counters

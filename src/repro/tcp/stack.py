@@ -207,3 +207,13 @@ class TcpStack:
     def connection_count(self) -> int:
         """Live connections (any state but CLOSED)."""
         return len(self._connections)
+
+    def connection(
+        self, local_port: int, remote_addr: str, remote_port: int
+    ) -> Optional[TcpSocket]:
+        """Look up one live connection by its demux key (or None).
+
+        The fluid fast path uses this to find the receiving socket of a
+        flow whose sender it is about to advance analytically.
+        """
+        return self._connections.get((local_port, remote_addr, remote_port))

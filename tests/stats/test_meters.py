@@ -137,3 +137,36 @@ class TestZeroIntervalConservation:
         assert meter.interval_rate_bps() == 0.0  # no virtual time elapsed
         advance(sim, 10.0)  # 1 virtual second
         assert meter.interval_rate_bps() == pytest.approx(10_000)
+
+
+class TestLatencyMeterOverwrites:
+    def test_restart_counts_overwrite(self):
+        sim = Simulator()
+        meter = LatencyMeter(PhysicalClock(sim))
+        meter.start("op")
+        advance(sim, 1.0)
+        meter.start("op")  # discards the unfinished timing
+        assert meter.overwrites == 1
+        advance(sim, 0.5)
+        # The measurement reflects the *restarted* timing, not the stale one.
+        assert meter.stop("op") == pytest.approx(0.5)
+
+    def test_clean_start_stop_never_counts(self):
+        sim = Simulator()
+        meter = LatencyMeter(PhysicalClock(sim))
+        for key in ("a", "b"):
+            meter.start(key)
+            advance(sim, 0.1)
+            meter.stop(key)
+        assert meter.overwrites == 0
+        assert meter.in_flight == 0
+
+    def test_repr_exposes_audit_counts(self):
+        sim = Simulator()
+        meter = LatencyMeter(PhysicalClock(sim))
+        meter.start("a")
+        meter.start("a")
+        meter.start("b")
+        advance(sim, 0.2)
+        meter.stop("b")
+        assert repr(meter) == "LatencyMeter(samples=1, in_flight=1, overwrites=1)"

@@ -124,3 +124,45 @@ def test_property_constant_rtt_converges(value):
         est.observe(value)
     assert est.srtt == pytest.approx(value, rel=1e-3)
     assert est.rttvar == pytest.approx(0.0, abs=value * 0.01)
+
+
+def test_initial_rto_clamped_to_max():
+    # A super-max initial RTO used to survive until the first sample and
+    # collapse backoff()'s multiplier cap to 1.0 (backoff permanently
+    # disabled); it must be clamped into [min_rto, max_rto] up front.
+    est = RttEstimator(initial_rto=120.0, min_rto=0.2, max_rto=60.0)
+    assert est.rto == 60.0
+    est.backoff()
+    assert est.rto == 60.0  # still bounded, multiplier not collapsed
+
+
+def test_initial_rto_clamped_to_min():
+    est = RttEstimator(initial_rto=0.01, min_rto=0.2, max_rto=60.0)
+    assert est.rto == 0.2
+
+
+def test_initial_rto_clamp_survives_reset():
+    est = RttEstimator(initial_rto=120.0, min_rto=0.2, max_rto=60.0)
+    est.observe(0.1)
+    est.reset()
+    assert est.rto == 60.0
+
+
+def test_backoff_doubles_from_clamped_initial():
+    # With initial_rto inside the bounds backoff proceeds normally.
+    est = RttEstimator(initial_rto=1.0, min_rto=0.2, max_rto=60.0)
+    for expected in (2.0, 4.0, 8.0):
+        est.backoff()
+        assert est.rto == pytest.approx(expected)
+
+
+@given(
+    st.floats(min_value=1e-3, max_value=1e3),
+    st.floats(min_value=1e-2, max_value=1.0),
+    st.floats(min_value=2.0, max_value=100.0),
+)
+def test_property_initial_rto_always_within_bounds(initial, min_rto, max_rto):
+    est = RttEstimator(initial_rto=initial, min_rto=min_rto, max_rto=max_rto)
+    assert min_rto <= est.rto <= max_rto
+    est.backoff()
+    assert est.rto <= max_rto

@@ -28,6 +28,27 @@ def cpu_count():
     return os.cpu_count() or 1
 
 
+@pytest.fixture(scope="session")
+def bench_provenance(cpu_count):
+    """Uniform provenance stamp for every BENCH_*.json record.
+
+    Returns a callable: ``bench_provenance(asserted)`` yields the two keys
+    each benchmark json must carry — the machine's ``cpu_count`` and
+    whether the benchmark's headline bar was actually asserted on this
+    machine (``speedup_asserted``). A number regenerated on a loaded
+    1-vCPU CI runner is then distinguishable from one produced on a real
+    box when reviewing committed BENCH files.
+    """
+
+    def stamp(speedup_asserted=True):
+        return {
+            "cpu_count": cpu_count,
+            "speedup_asserted": bool(speedup_asserted),
+        }
+
+    return stamp
+
+
 def regenerate(benchmark, figure_id):
     """Run one figure under the benchmark fixture and assert its checks."""
     result = benchmark.pedantic(

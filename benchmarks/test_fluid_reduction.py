@@ -61,7 +61,7 @@ def _run(rtt_ms, fidelity):
     return result, time.perf_counter() - started
 
 
-def test_fluid_event_reduction():
+def test_fluid_event_reduction(bench_provenance):
     cells = []
     total_packet_events = 0
     total_hybrid_events = 0
@@ -95,6 +95,8 @@ def test_fluid_event_reduction():
         "required_reduction": REQUIRED_REDUCTION,
         "aggregate_reduction": round(aggregate, 3),
         "cells": cells,
+        # The reduction gate is a counting property, asserted everywhere.
+        **bench_provenance(True),
     }
     BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
 

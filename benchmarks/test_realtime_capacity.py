@@ -1,0 +1,231 @@
+"""Real-time capacity benchmark — max sustainable event load vs TDF.
+
+The paper's figure-3 story says: dilate time by k and the emulator can
+present k times the apparent bandwidth. This benchmark runs that story in
+reverse for the real-time driver: at TDF k the engine has k times the
+wall time per virtual second, so the maximum *virtual* event load it can
+pace without blowing deadlines should grow with k.
+
+For each TDF a ladder of CBR rates (one UDP datagram stream over one
+fast link, scheduled in a dilated guest clock) is probed under the
+wall-clock driver with a fixed wall budget per probe. A rate is
+*sustainable* when the deadline-miss rate stays under
+``MISS_RATE_CEILING`` with misses defined as slip beyond
+``MISS_THRESHOLD_S``. The ladder stops at the first unsustainable rung;
+the highest sustainable rung is the recorded capacity. Everything lands
+in ``BENCH_realtime.json`` at the repo root, alongside a fig3-profile
+bulk-TCP run at TDF 10 (the acceptance point from the issue).
+
+Hard gate: capacity at the highest TDF must be >= capacity at TDF 1 —
+*asserted only when* the TDF 1 ladder actually found its ceiling below
+the top rung and the runner was not saturated (``busy_frac`` gate);
+``speedup_asserted`` in the json says which happened. Wall-clock pacing
+quality is load-sensitive, so like the other parallelism benchmarks the
+correctness shape always runs but the headline bar self-gates.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.apps.crosstraffic import CbrSource, UdpSink
+from repro.core.dilation import NetworkProfile
+from repro.core.tdf import as_tdf
+from repro.core.vmm import Hypervisor
+from repro.harness.experiments import run_bulk
+from repro.realtime.driver import RealtimeConfig, RealtimeDriver
+from repro.simnet.topology import Network
+from repro.simnet.units import mbps, ms
+from repro.udp.socket import UdpStack
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_JSON = REPO_ROOT / "BENCH_realtime.json"
+
+#: TDF sweep for the capacity table.
+TDFS = (1, 5, 10, 20)
+
+#: Virtual packets/sec ladder, ascending; each datagram costs a handful
+#: of engine events (timer, enqueue, transmit-complete, deliver).
+PPS_LADDER = (500, 1000, 2000, 4000, 8000, 16000, 32000, 64000, 128000,
+              256000, 512000, 1024000, 2048000)
+
+#: Wall seconds spent per probe rung (virtual span = budget / TDF).
+WALL_BUDGET_S = 0.3
+
+#: A batch is a miss when its slip exceeds this. Set well above the OS
+#: sleep jitter floor (multi-ms overshoots are routine on a 1-CPU box):
+#: at true capacity the slip *cascades* and miss rates hit tens of
+#: percent, so a generous threshold still finds the same knee.
+MISS_THRESHOLD_S = 0.020
+
+#: A rung is sustainable when fewer than this fraction of batches miss.
+MISS_RATE_CEILING = 0.01
+
+#: A failed rung is re-probed this many times before it counts as the
+#: ceiling. A genuine capacity break reproduces on every attempt
+#: (cascading slip); a transient scheduler stall does not, and low-rate
+#: rungs have so few batches that one stall clears the miss ceiling.
+RUNG_RETRIES = 2
+
+#: busy_frac above which a probe says "the CPU, not the pacer, ran out" —
+#: the same self-gate the CI realtime tier uses.
+BUSY_GATE = 0.8
+
+PACKET_BYTES = 200
+
+
+def _probe(tdf, pps):
+    """Pace one CBR rung for the wall budget; return its measurements."""
+    net = Network()
+    src = net.add_node("src")
+    dst = net.add_node("dst")
+    # A fat, short link: serialization and queueing stay negligible so
+    # the event load is the CBR schedule itself, not emergent congestion.
+    net.add_link(src, dst, 1e9, 0.001)
+    net.finalize()
+    vmm = Hypervisor(net.sim)
+    vmm.create_vm("src-vm", tdf=as_tdf(tdf), cpu_share=0.5, node=src)
+    vmm.create_vm("dst-vm", tdf=as_tdf(tdf), cpu_share=0.5, node=dst)
+    sink = UdpSink(UdpStack(dst), 9000)
+    cbr = CbrSource(
+        UdpStack(src), "dst", 9000,
+        rate_bps=pps * PACKET_BYTES * 8, packet_bytes=PACKET_BYTES,
+    )
+    cbr.start()
+    driver = RealtimeDriver(
+        net.sim, RealtimeConfig(miss_threshold_s=MISS_THRESHOLD_S)
+    )
+    started = time.perf_counter()
+    # The engine queue holds physical timestamps, so a physical horizon
+    # equal to the wall budget paces exactly that much wall time.
+    stats = driver.run(until=WALL_BUDGET_S)
+    wall = time.perf_counter() - started
+    cbr.stop()
+    return {
+        "virtual_pps": pps,
+        "physical_pps": round(pps / float(as_tdf(tdf)), 1),
+        "events": stats.events,
+        "events_per_wall_s": round(stats.events / wall) if wall else 0,
+        "datagrams": sink.datagrams,
+        "miss_rate": round(stats.miss_rate, 5),
+        "deadline_misses": stats.deadline_misses,
+        "max_slip_ms": round(stats.max_slip_s * 1e3, 3),
+        "busy_frac": round(stats.busy_frac, 4),
+        "sustainable": stats.miss_rate < MISS_RATE_CEILING,
+    }
+
+
+def _capacity_ladder(tdf):
+    """Climb the rate ladder at one TDF until a rung reproducibly fails."""
+    probes = []
+    max_sustainable = 0
+    saturated_cpu = False
+    retried = 0
+    for pps in PPS_LADDER:
+        probe = _probe(tdf, pps)
+        attempts = 1
+        while not probe["sustainable"] and attempts <= RUNG_RETRIES:
+            retried += 1
+            attempts += 1
+            probe = _probe(tdf, pps)
+        probe["attempts"] = attempts
+        probes.append(probe)
+        if not probe["sustainable"]:
+            saturated_cpu = probe["busy_frac"] > BUSY_GATE
+            break
+        max_sustainable = pps
+    return {
+        "tdf": tdf,
+        "max_sustainable_pps": max_sustainable,
+        "ladder_exhausted": max_sustainable == PPS_LADDER[-1],
+        "cpu_saturated_at_break": saturated_cpu,
+        "rung_retries": retried,
+        "probes": probes,
+    }
+
+
+def test_realtime_capacity_vs_tdf(bench_provenance):
+    ladders = [_capacity_ladder(tdf) for tdf in TDFS]
+
+    # The acceptance point: the fig3 profile (100 Mbps / 40 ms) as a
+    # paced bulk-TCP run at TDF 10, sized to ~2 s of wall clock.
+    fig3 = run_bulk(
+        NetworkProfile.from_rtt(mbps(100), ms(40)),
+        tdf=10, duration_s=0.2, warmup_s=0.05,
+        realtime=RealtimeConfig(miss_threshold_s=0.050),
+    )
+    fig3_stats = fig3.realtime_stats
+    fig3_healthy = fig3_stats["busy_frac"] <= BUSY_GATE
+
+    base = ladders[0]
+    top = ladders[-1]
+    # The headline bar only means something when TDF 1 genuinely hit a
+    # ceiling inside the ladder. (Whether the break came from pacing
+    # overhead or raw event-execution cost is recorded per ladder as
+    # ``cpu_saturated_at_break`` but does not gate: both are wall-time
+    # exhaustion, which is exactly what dilation buys back.)
+    bar_meaningful = not base["ladder_exhausted"]
+
+    record = {
+        "wall_budget_s": WALL_BUDGET_S,
+        "packet_bytes": PACKET_BYTES,
+        "miss_threshold_s": MISS_THRESHOLD_S,
+        "miss_rate_ceiling": MISS_RATE_CEILING,
+        "pps_ladder": list(PPS_LADDER),
+        "capacity": ladders,
+        "fig3_realtime_tdf10": {
+            "tdf": 10,
+            "duration_s": 0.2,
+            "warmup_s": 0.05,
+            "goodput_mbps": round(fig3.goodput_bps / 1e6, 3),
+            **{k: fig3_stats[k] for k in (
+                "events", "batches", "deadline_misses", "miss_rate",
+                "max_slip_s", "busy_frac", "wall_s",
+            )},
+            "asserted": fig3_healthy,
+        },
+        **bench_provenance(bar_meaningful and fig3_healthy),
+    }
+    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+
+    print()
+    for ladder in ladders:
+        tail = ladder["probes"][-1]
+        print(
+            f"tdf {ladder['tdf']:>2}: sustainable "
+            f"{ladder['max_sustainable_pps']:>7,} virtual pps"
+            + (" (ladder exhausted)" if ladder["ladder_exhausted"] else
+               f", broke at {tail['virtual_pps']:,} "
+               f"(miss_rate {tail['miss_rate']:.2%}, "
+               f"busy {tail['busy_frac']:.0%})")
+        )
+    print(
+        f"fig3 @ tdf10: {fig3_stats['events']:,} events over "
+        f"{fig3_stats['wall_s']:.2f} s wall, "
+        f"{fig3_stats['deadline_misses']} misses "
+        f"(busy {fig3_stats['busy_frac']:.0%}) -> {BENCH_JSON.name}"
+    )
+
+    # Shape checks always run: every ladder found at least the bottom
+    # rung sustainable, and paced runs really consumed the wall budget.
+    for ladder in ladders:
+        assert ladder["max_sustainable_pps"] >= PPS_LADDER[0], (
+            f"tdf {ladder['tdf']}: even {PPS_LADDER[0]} pps missed "
+            f"deadlines — see {BENCH_JSON}"
+        )
+    assert fig3_stats["wall_s"] >= 1.9
+
+    if fig3_healthy:
+        assert fig3_stats["miss_rate"] < MISS_RATE_CEILING, (
+            f"fig3-profile bulk at TDF 10 missed "
+            f"{fig3_stats['deadline_misses']} deadlines "
+            f"(miss_rate {fig3_stats['miss_rate']:.2%}); see {BENCH_JSON}"
+        )
+    if bar_meaningful:
+        assert top["max_sustainable_pps"] >= base["max_sustainable_pps"], (
+            f"capacity did not grow with dilation: tdf {top['tdf']} "
+            f"sustained {top['max_sustainable_pps']} pps vs "
+            f"{base['max_sustainable_pps']} at tdf 1 — see {BENCH_JSON}"
+        )

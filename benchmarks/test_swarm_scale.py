@@ -65,12 +65,15 @@ HOT_PATH_SHAPES = [(100, 64), (250, 64)]
 ROUNDS = 2  # best-of-N to shrug off scheduler noise
 
 
-def _update_bench(section: str, payload: Dict) -> None:
+def _update_bench(section: str, payload: Dict, provenance: Dict) -> None:
     record = {}
     if BENCH_JSON.exists():
         record = json.loads(BENCH_JSON.read_text())
     record[section] = payload
     record["required_speedup"] = REQUIRED_SPEEDUP
+    # Every hot-path bar here is a single-process property, asserted on
+    # every machine — the stamp says what box produced the numbers.
+    record.update(provenance)
     BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
 
 
@@ -79,7 +82,7 @@ def _update_bench(section: str, payload: Dict) -> None:
 # --------------------------------------------------------------------------
 
 
-def test_swarm_end_to_end_pins():
+def test_swarm_end_to_end_pins(bench_provenance):
     profile = NetworkProfile.from_rtt(mbps(10), ms(20))
     payload = {}
     print()
@@ -107,7 +110,7 @@ def test_swarm_end_to_end_pins():
             f"{leechers - result.completed} leechers stranded at "
             f"swarm size {leechers}"
         )
-    _update_bench("end_to_end", payload)
+    _update_bench("end_to_end", payload, bench_provenance(True))
 
 
 # --------------------------------------------------------------------------
@@ -339,7 +342,7 @@ def _best_rate(peer_cls, conns, pieces, rounds=ROUNDS):
     return best
 
 
-def test_hot_path_speedup():
+def test_hot_path_speedup(bench_provenance):
     payload = {}
     print()
     for conns, pieces in HOT_PATH_SHAPES:
@@ -358,7 +361,7 @@ def test_hot_path_speedup():
             f"peer hot paths only {speedup:.2f}x the seed at "
             f"{conns} connections (required {REQUIRED_SPEEDUP}x)"
         )
-    _update_bench("peer_hot_paths", payload)
+    _update_bench("peer_hot_paths", payload, bench_provenance(True))
 
 
 # --------------------------------------------------------------------------
@@ -395,7 +398,7 @@ def _allocation_rate(allocate, conns=250, allocations=2000):
     return allocations / (time.perf_counter() - start)
 
 
-def test_port_allocation_speedup():
+def test_port_allocation_speedup(bench_provenance):
     legacy_rate = max(_allocation_rate(_legacy_allocate_port)
                       for _ in range(ROUNDS))
     fast_rate = max(_allocation_rate(lambda s: s.allocate_port())
@@ -408,5 +411,5 @@ def test_port_allocation_speedup():
         "legacy_allocs_per_sec": round(legacy_rate),
         "fast_allocs_per_sec": round(fast_rate),
         "speedup": round(speedup, 2),
-    })
+    }, bench_provenance(True))
     assert speedup >= REQUIRED_SPEEDUP

@@ -26,6 +26,7 @@ from ..core.dilation import NetworkProfile, physical_for
 from ..core.tdf import TdfLike, as_tdf
 from ..core.vmm import Hypervisor
 from ..parallel.shard import InProcessShard, run_sharded
+from ..realtime.driver import RealtimeConfig, RealtimeDriver
 from ..simnet.errors import ConfigurationError
 from ..simnet.fluid import FluidManager
 from ..simnet.impairments import ImpairmentSpec
@@ -70,6 +71,34 @@ def _check_fidelity(fidelity: str) -> None:
         raise ConfigurationError(
             f"unknown fidelity {fidelity!r}: expected 'packet' or 'hybrid'"
         )
+
+
+def _check_realtime(realtime, shards: int, _shard) -> None:
+    """Reject realtime pacing on sharded runs before any topology is built.
+
+    Each sharded worker has its own engine, barrier-synchronised with its
+    siblings; pacing any one of them against the wall clock would make the
+    barrier — not the deadline — decide when events fire.
+    """
+    if realtime and (shards != 1 or _shard is not None):
+        raise ConfigurationError(
+            "realtime=True requires shards=1: the wall-clock driver paces "
+            "a single engine"
+        )
+
+
+def _build_driver(realtime, sim, recorder) -> Optional[RealtimeDriver]:
+    """The run's pacing driver: None for batch, a RealtimeDriver otherwise.
+
+    ``realtime`` may be a bare truthy flag (default config) or a
+    :class:`~repro.realtime.driver.RealtimeConfig`. The recorder — when
+    the run was given a TraceSpec — rides along so deadline misses land in
+    ``trace_events`` beside the packet and timer events.
+    """
+    if not realtime:
+        return None
+    config = realtime if isinstance(realtime, RealtimeConfig) else None
+    return RealtimeDriver(sim, config=config, recorder=recorder)
 
 
 def relative_error(measured: float, reference: float) -> float:
@@ -138,6 +167,10 @@ class BulkFlowResult:
     #: Per-shard barrier accounting when the run was sharded (empty for
     #: single-process runs; excluded from figure reports).
     shard_stats: List = field(default_factory=list)
+    #: Wall-clock pacing accounting when the run was real-time paced
+    #: (:meth:`repro.realtime.driver.RealtimeStats.as_dict`; empty for
+    #: batch runs).
+    realtime_stats: Dict = field(default_factory=dict)
 
 
 def run_bulk(
@@ -155,9 +188,21 @@ def run_bulk(
     trace: Optional[TraceSpec] = None,
     shards: int = 1,
     fidelity: str = "packet",
+    realtime=False,
     _shard=None,
 ) -> BulkFlowResult:
     """Bulk TCP over a dilated dumbbell; goodput in virtual bits/second.
+
+    ``realtime=True`` paces the run against the wall clock with a
+    :class:`repro.realtime.driver.RealtimeDriver`: every event fires at
+    its physical timestamp plus a fixed monotonic-clock offset, so the run
+    takes ``duration_s x tdf`` wall seconds and the result gains
+    ``realtime_stats`` (deadline misses, max slip, busy fraction). Pass a
+    :class:`~repro.realtime.driver.RealtimeConfig` instead of ``True`` to
+    tune the pacing knobs. Event order — and every metric — is
+    bit-identical to the batch run: the driver only decides *when*
+    ``sim.run`` is called, never what it executes. Requires ``shards=1``
+    (the driver paces a single engine).
 
     ``fidelity="hybrid"`` installs a :class:`repro.simnet.fluid.FluidManager`
     on the engine: steady-state flows are advanced by the coarse-stepped
@@ -193,6 +238,7 @@ def run_bulk(
     sharded worker executes under.
     """
     _check_fidelity(fidelity)
+    _check_realtime(realtime, shards, _shard)
     if shards != 1 and _shard is None:
         _check_sharded_trace(trace)
         results, stats = run_sharded(
@@ -320,16 +366,18 @@ def run_bulk(
             client.start()
     if recorder is not None and trace.tcp and clients[0] is not None:
         recorder.attach_socket(clients[0].socket)
+    driver = _build_driver(realtime, net.sim, recorder)
+    advance = ctx.advance if driver is None else driver.run
     warmup_bytes = [0] * flows
     if warmup_s > 0:
-        ctx.advance(receiver_vm.clock.to_physical(warmup_s))
+        advance(receiver_vm.clock.to_physical(warmup_s))
         warmup_bytes = [
             server.total_bytes if server is not None else 0
             for server in servers
         ]
         if packet_trace is not None:
             packet_trace.clear()
-    ctx.advance(receiver_vm.clock.to_physical(duration_s))
+    advance(receiver_vm.clock.to_physical(duration_s))
     span = duration_s - warmup_s
     per_flow = [
         (server.total_bytes - start) * 8 / span if server is not None else 0.0
@@ -367,6 +415,7 @@ def run_bulk(
             if server is not None
         ),
         trace_events=recorder.snapshot() if recorder is not None else [],
+        realtime_stats=driver.stats.as_dict() if driver is not None else {},
     )
 
 
@@ -474,6 +523,9 @@ class BitTorrentResult:
     #: Per-shard barrier accounting when the run was sharded (empty for
     #: single-process runs; excluded from figure reports).
     shard_stats: List = field(default_factory=list)
+    #: Wall-clock pacing accounting when the run was real-time paced
+    #: (empty for batch runs).
+    realtime_stats: Dict = field(default_factory=dict)
 
 
 #: Deterministic per-leaf fraction in [0, 1) for ``delay_salt`` — the
@@ -499,6 +551,7 @@ def run_bittorrent(
     timer_salt: float = 0.0,
     shards: int = 1,
     fidelity: str = "packet",
+    realtime=False,
     _shard=None,
 ) -> BitTorrentResult:
     """A one-seed swarm on a dilated star; download times in virtual seconds.
@@ -540,8 +593,13 @@ def run_bittorrent(
     event-for-event identical to ``shards=1`` when the topology is free of
     cross-leaf timestamp ties, which ``delay_salt`` guarantees. ``_shard``
     is internal.
+
+    ``realtime=True`` (or a :class:`~repro.realtime.driver.RealtimeConfig`)
+    paces the run against the wall clock — see :func:`run_bulk`; requires
+    ``shards=1``.
     """
     _check_fidelity(fidelity)
+    _check_realtime(realtime, shards, _shard)
     if shards != 1 and _shard is None:
         _check_sharded_trace(trace)
         results, stats = run_sharded(
@@ -652,6 +710,8 @@ def run_bittorrent(
             recorder.attach_engine(net.sim)
     swarm.start()
     clock = vms[0].clock
+    driver = _build_driver(realtime, net.sim, recorder)
+    advance = ctx.advance if driver is None else driver.run
     step = 5.0
     elapsed = 0.0
     # ``all_agree`` makes the completion predicate global, so every shard
@@ -659,7 +719,7 @@ def run_bittorrent(
     # in-process context reduces it to the local predicate unchanged).
     while not ctx.all_agree(swarm.all_complete()) and elapsed < horizon_s:
         elapsed = min(horizon_s, elapsed + step)
-        ctx.advance(clock.to_physical(elapsed))
+        advance(clock.to_physical(elapsed))
     seed_peer = swarm.seeds[0]
     return BitTorrentResult(
         download_times_s=sorted(swarm.download_times()),
@@ -679,6 +739,7 @@ def run_bittorrent(
         ),
         connections_total=sum(p.connection_count for p in swarm.peers),
         trace_events=recorder.snapshot() if recorder is not None else [],
+        realtime_stats=driver.stats.as_dict() if driver is not None else {},
     )
 
 

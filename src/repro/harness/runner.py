@@ -74,7 +74,9 @@ __all__ = [
 #: 5: cells gained the ``fidelity`` axis (hybrid fluid/packet engine);
 #:    tokens for fidelity-capable runners now cover the new kwarg, and
 #:    results carry ``fluid.*`` counters schema-4 pickles lack.
-CACHE_SCHEMA = 5
+#: 6: BulkFlowResult / BitTorrentResult gained ``realtime_stats``
+#:    (schema-5 pickles lack the field and would break attribute access).
+CACHE_SCHEMA = 6
 
 #: Default on-disk cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"

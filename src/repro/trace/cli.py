@@ -64,6 +64,15 @@ def _build_parser() -> argparse.ArgumentParser:
              "recordings to pin event-for-event identity",
     )
     capture.add_argument(
+        "--fidelity",
+        choices=("packet", "hybrid"),
+        default="packet",
+        help="engine fidelity for fluid-capable cells: 'packet' (default, "
+             "bit-exact golden behaviour) or 'hybrid' (fluid fast path for "
+             "steady-state bulk); capture both and diff to see exactly "
+             "where the fluid engine coarsens the packet timeline",
+    )
+    capture.add_argument(
         "--salt", type=float, default=None, metavar="S",
         help="explicit delay_salt for swarm cells (run_bittorrent only). "
              "--shards 2+ salts swarm cells automatically; pass the same "
@@ -167,11 +176,22 @@ def _cmd_capture(args: argparse.Namespace) -> int:
             print(f"--salt only applies to swarm cells; not saltable: "
                   f"{', '.join(unsaltable)}", file=sys.stderr)
             return 2
+    if args.fidelity != "packet":
+        from ..harness.experiments import FLUID_RUNNERS
+
+        unfluid = [s.key for s in cells if s.runner not in FLUID_RUNNERS]
+        if unfluid:
+            print(f"cell(s) not fluid-capable: {', '.join(unfluid)} "
+                  f"(fluid runners: {', '.join(sorted(FLUID_RUNNERS))})",
+                  file=sys.stderr)
+            return 2
     os.makedirs(args.out, exist_ok=True)
     for spec in cells:
         base = dict(spec.kwargs)
         if args.salt is not None:
             base["delay_salt"] = args.salt
+        if args.fidelity != "packet":
+            base["fidelity"] = args.fidelity
         if args.shards != 1:
             kwargs = shard_cell_kwargs(spec.runner, base, args.shards)
         else:

@@ -18,6 +18,10 @@ flight recorder instruments:
 ``clock``
     ``epoch`` — a runtime TDF change; ``reason`` = ``"old->new"`` and
     ``value`` = the new TDF as a float.
+``realtime``
+    ``slip`` — one deadline miss under the real-time driver; ``value`` =
+    the slip in seconds past the wall deadline, ``reason`` = the catch-up
+    policy in force (``"run"`` or ``"drop"``), ``site`` = the driver name.
 
 Every event captures the engine's physical time and, when the recorder
 owns a clock, that clock's virtual time *at capture* — so recordings can

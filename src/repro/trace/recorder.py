@@ -211,6 +211,28 @@ class FlightRecorder:
         ))
         self.recorded += 1
 
+    def record_realtime(
+        self, kind: str, physical_time: float, site: str = "realtime",
+        value: float = 0.0, reason: Optional[str] = None,
+    ) -> None:
+        """Hook target for :class:`~repro.realtime.driver.RealtimeDriver`.
+
+        One ``realtime``/``slip`` event per deadline miss: ``value`` is the
+        slip in seconds, ``reason`` the catch-up policy in force — so
+        ``repro-trace diff``/``summarize`` can localize where pacing broke
+        down on the same timeline as the packet and timer events.
+        """
+        self._buffer.append(TraceEvent(
+            category="realtime",
+            kind=kind,
+            physical_time=physical_time,
+            virtual_time=self._virtual(physical_time),
+            site=site,
+            reason=reason,
+            value=value,
+        ))
+        self.recorded += 1
+
     def record_epoch(
         self, clock: Any, physical_time: float, virtual_time: float,
         old_tdf: Any, new_tdf: Any,

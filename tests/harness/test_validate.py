@@ -1,10 +1,16 @@
 """Tests for the user-facing equivalence validator."""
 
+import math
+
 import pytest
 
 from repro.core.dilation import NetworkProfile
 from repro.harness.experiments import run_bulk
-from repro.harness.validate import assert_equivalent, check_equivalent
+from repro.harness.validate import (
+    assert_equivalent,
+    check_equivalent,
+    compare_metrics,
+)
 from repro.simnet.units import mbps, ms
 
 
@@ -88,3 +94,60 @@ def test_differing_metric_sets_rejected():
         check_equivalent(
             runner, NetworkProfile.from_rtt(mbps(10), ms(20)), tdf=10,
         )
+
+
+# --------------------------------------------------------------------------
+# compare_metrics edge cases: degenerate distributions must neither divide
+# by zero nor silently pass.
+# --------------------------------------------------------------------------
+
+
+def test_compare_metrics_empty_lists_both_sides_pass():
+    # An experiment that produced no samples on either axis (e.g. a CDF of
+    # zero completions) is vacuously equivalent — error 0, not 0/0.
+    report = compare_metrics({"cdf": []}, {"cdf": []}, tdf=10)
+    assert report.passed
+    assert report.comparisons[0].error == 0.0
+
+
+def test_compare_metrics_empty_vs_nonempty_fails():
+    # Samples appearing on only one side is a divergence, not a pass: the
+    # length mismatch maps to infinite error.
+    report = compare_metrics({"cdf": []}, {"cdf": [1.0]}, tdf=10)
+    assert not report.passed
+    assert math.isinf(report.comparisons[0].error)
+
+
+def test_compare_metrics_single_sample_lists():
+    matched = compare_metrics({"cdf": [2.0]}, {"cdf": [2.0]}, tdf=10)
+    assert matched.passed
+    off = compare_metrics({"cdf": [2.0]}, {"cdf": [3.0]}, tdf=10)
+    assert not off.passed
+    assert off.comparisons[0].error == pytest.approx(0.5)
+
+
+def test_compare_metrics_identical_constant_distributions():
+    # All-equal samples (zero variance) must compare clean — and a
+    # constant-zero distribution must not divide by the zero reference.
+    constant = [5.0] * 4
+    assert compare_metrics({"d": constant}, {"d": constant}, tdf=10).passed
+    zeros = [0.0] * 4
+    assert compare_metrics({"d": zeros}, {"d": zeros}, tdf=10).passed
+
+
+def test_compare_metrics_zero_reference_scalar():
+    # reference 0 / measured 0 is exact agreement; reference 0 / measured
+    # nonzero is infinitely wrong (there is no scale to be "close" on).
+    assert compare_metrics({"m": 0.0}, {"m": 0.0}, tdf=10).passed
+    report = compare_metrics({"m": 0.0}, {"m": 1e-9}, tdf=10)
+    assert not report.passed
+    assert math.isinf(report.comparisons[0].error)
+
+
+def test_compare_metrics_constant_shifted_distribution_fails():
+    report = compare_metrics(
+        {"d": [1.0, 1.0, 1.0]}, {"d": [2.0, 2.0, 2.0]}, tdf=10,
+    )
+    assert not report.passed
+    assert report.comparisons[0].error == pytest.approx(1.0)
+    assert "FAIL" in report.summary()

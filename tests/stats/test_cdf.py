@@ -83,6 +83,28 @@ class TestKs:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             ks_distance([], [1.0])
+        with pytest.raises(ValueError):
+            ks_distance([1.0], [])
+        with pytest.raises(ValueError):
+            ks_distance([], [])
+
+    def test_single_sample_each_side(self):
+        assert ks_distance([1.0], [1.0]) == 0.0
+        assert ks_distance([1.0], [2.0]) == 1.0
+
+    def test_identical_constant_distributions_zero(self):
+        # Zero-variance samples: every value ties, so the tie-handling
+        # sweep must report exact agreement, not divide by zero or return
+        # a spurious step.
+        assert ks_distance([3.0] * 5, [3.0] * 7) == 0.0
+
+    def test_shifted_constant_distributions_one(self):
+        assert ks_distance([3.0] * 5, [4.0] * 7) == 1.0
+
+    def test_constant_vs_spread_partial(self):
+        # Half of the spread sample sits strictly below the constant, so
+        # the sup gap is 0.5 just left of the constant's step.
+        assert ks_distance([2.0, 2.0], [1.0, 3.0]) == 0.5
 
     @given(
         st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=80),

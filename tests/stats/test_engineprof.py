@@ -131,3 +131,26 @@ def test_named_counters_merged_across_sims_and_rendered():
     snap = profiler.snapshot()
     assert snap["counters"] == {"drop.loss": 7}
     assert "drop.loss" in profiler.render()
+
+
+def test_realtime_counters_split_into_own_section():
+    profiler = EngineProfiler()
+    sim = Simulator()
+    sim.attach_profiler(profiler)
+    sim.counters["realtime.deadline_miss"] = 2
+    sim.counters["realtime.max_slip_ms"] = 7.5
+    sim.counters["realtime.busy_frac"] = 0.42
+    sim.counters["drop.loss"] = 1
+    sim.schedule(1.0, tick)
+    sim.run()
+    assert profiler.realtime_counters() == {
+        "deadline_miss": 2, "max_slip_ms": 7.5, "busy_frac": 0.42,
+    }
+    snap = profiler.snapshot()
+    assert snap["realtime"]["deadline_miss"] == 2
+    rendered = profiler.render()
+    assert "realtime pacing:" in rendered
+    assert "deadline_miss" in rendered
+    # The generic counter section excludes the realtime namespace.
+    generic_start = rendered.index("  counters:")
+    assert "realtime." not in rendered[generic_start:]

@@ -145,6 +145,42 @@ def test_capture_salt_rejected_for_bulk_cells(tmp_path, tiny_figure, capsys):
     assert "only applies to swarm cells" in capsys.readouterr().err
 
 
+def test_capture_fidelity_hybrid_plumbs_through(tmp_path, tiny_figure):
+    """``--fidelity hybrid`` reaches the runner. At this tiny scale the
+    fluid engine never engages (startup-dominated), so the hybrid capture
+    is bit-exact with the packet one — pinning that the flag itself does
+    not perturb fallback cells."""
+    rc = trace_cli.main([
+        "capture", "figtest", "--cells", "tdf1",
+        "--out", str(tmp_path / "packet"),
+    ])
+    assert rc == 0
+    rc = trace_cli.main([
+        "capture", "figtest", "--cells", "tdf1", "--fidelity", "hybrid",
+        "--out", str(tmp_path / "hybrid"),
+    ])
+    assert rc == 0
+    rc = trace_cli.main([
+        "diff",
+        str(tmp_path / "hybrid" / "figtest-tdf1.jsonl"),
+        str(tmp_path / "packet" / "figtest-tdf1.jsonl"),
+    ])
+    assert rc == 0
+
+
+def test_capture_fidelity_rejected_for_non_fluid_cells(
+    tmp_path, tiny_figure, monkeypatch, capsys,
+):
+    from repro.harness import experiments
+
+    monkeypatch.setattr(experiments, "FLUID_RUNNERS", frozenset())
+    assert trace_cli.main([
+        "capture", "figtest", "--fidelity", "hybrid",
+        "--out", str(tmp_path),
+    ]) == 2
+    assert "not fluid-capable" in capsys.readouterr().err
+
+
 def test_capture_salted_baseline_matches_sharded_swarm(
     tmp_path, tiny_swarm_figure,
 ):

@@ -110,6 +110,7 @@ class JitterBufferSink:
         udp: UdpStack,
         port: int,
         playout_delay_s: float = 0.060,
+        keep_samples: bool = False,
     ) -> None:
         if playout_delay_s <= 0:
             raise ConfigurationError("playout delay must be positive")
@@ -120,6 +121,14 @@ class JitterBufferSink:
         self.lost = 0
         self.delay = Summary()          # one-way network delay of arrivals
         self.late_by: List[float] = []  # how much each late frame missed by
+        #: Per-frame one-way delays in arrival order (only kept when
+        #: ``keep_samples``; distribution-level gates — CDF quantiles,
+        #: KS distance — need the raw samples, not the Summary).
+        self.delays: List[float] = []
+        self._keep_samples = keep_samples
+        self._prev_delay: Optional[float] = None
+        self._jitter_sum = 0.0
+        self._jitter_n = 0
         self._seen = set()
         self._highest_seq = -1
         self.socket = udp.bind(port, self._on_frame)
@@ -133,7 +142,14 @@ class JitterBufferSink:
         self._seen.add(frame.seq)
         self._highest_seq = max(self._highest_seq, frame.seq)
         now = self.node.clock.now()
-        self.delay.add(now - frame.sent_at)
+        delay = now - frame.sent_at
+        self.delay.add(delay)
+        if self._keep_samples:
+            self.delays.append(delay)
+        if self._prev_delay is not None:
+            self._jitter_sum += abs(delay - self._prev_delay)
+            self._jitter_n += 1
+        self._prev_delay = delay
         deadline = frame.sent_at + self.playout_delay_s
         if now <= deadline:
             self.on_time += 1
@@ -155,3 +171,25 @@ class JitterBufferSink:
         if not self._seen:
             return 0.0
         return self.on_time / len(self._seen)
+
+    def jitter_s(self) -> float:
+        """Mean absolute delay variation between consecutive arrivals.
+
+        The streaming-QoE jitter figure (a simplified RFC 3550 estimator
+        without the 1/16 smoothing): 0 on a constant-delay path, and it
+        grows with every handover delay step and queue excursion.
+        """
+        if self._jitter_n == 0:
+            return 0.0
+        return self._jitter_sum / self._jitter_n
+
+    def stall_fraction(self, frames_sent: int) -> float:
+        """Fraction of sent frames that missed playout (late or lost).
+
+        The QoE stall proxy: every such frame is a gap the player must
+        conceal or freeze over. Call after :meth:`finalize` so frames
+        that never arrived are included.
+        """
+        if frames_sent <= 0:
+            return 0.0
+        return (self.late + self.lost) / frames_sent

@@ -117,6 +117,16 @@ def _build_parser() -> argparse.ArgumentParser:
              "against the core count",
     )
     parser.add_argument(
+        "--schedule",
+        metavar="SPEC",
+        help="drive every schedule-capable cell's dynamic link from a "
+             "virtual-time schedule: kind[:key=value,...] with kind one "
+             "of leo/csv — e.g. 'leo:period=2.0,count=3,outage=0.05,"
+             "amp=0.5,dip=0.6' (synthesized handovers) or "
+             "'csv:path=traces/starlink.csv' (rows "
+             "t_s,delay_s[,bandwidth_bps[,up]])",
+    )
+    parser.add_argument(
         "--fidelity",
         choices=("packet", "hybrid"),
         default="packet",
@@ -187,9 +197,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("--fidelity cannot be combined with --profile-engine "
               "(the profiled path bypasses the cell sweep)", file=sys.stderr)
         return 2
+    if args.profile_engine and args.schedule:
+        print("--schedule cannot be combined with --profile-engine "
+              "(the profiled path bypasses the cell sweep)", file=sys.stderr)
+        return 2
     if args.profile_engine:
         return _run_profiled(requested, args)
 
+    schedule_spec = None
+    if args.schedule:
+        from ..simnet.errors import ConfigurationError
+        from ..simnet.schedule import ScheduleSpec
+
+        try:
+            schedule_spec = ScheduleSpec.parse(args.schedule)
+        except ConfigurationError as error:
+            print(str(error), file=sys.stderr)
+            return 2
     trace_spec = None
     if args.trace:
         from ..trace.spec import TraceSpec
@@ -210,6 +234,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             trace=trace_spec,
             shards=args.shards,
             fidelity=args.fidelity,
+            schedule=schedule_spec,
         )
     except ValueError as error:
         print(str(error), file=sys.stderr)

@@ -22,6 +22,7 @@ from ..apps.crosstraffic import CbrSource, UdpSink
 from ..apps.httpclient import OpenLoopHttpLoad
 from ..apps.httpd import WebServer
 from ..apps.iperf import IperfClient, IperfServer
+from ..apps.streaming import JitterBufferSink, MediaSource
 from ..core.dilation import NetworkProfile, physical_for
 from ..core.tdf import TdfLike, as_tdf
 from ..core.vmm import Hypervisor
@@ -31,6 +32,7 @@ from ..simnet.errors import ConfigurationError
 from ..simnet.fluid import FluidManager
 from ..simnet.impairments import ImpairmentSpec
 from ..simnet.queues import DropTailQueue
+from ..simnet.schedule import ScheduleSpec
 from ..simnet.topology import Network, build_dumbbell, partition_network
 from ..simnet.trace import PacketTrace
 from ..trace.recorder import FlightRecorder
@@ -44,6 +46,7 @@ __all__ = [
     "BulkFlowResult",
     "WebResult",
     "BitTorrentResult",
+    "StreamingResult",
     "CpuResult",
     "CrossTrafficResult",
     "ConsolidationResult",
@@ -51,6 +54,7 @@ __all__ = [
     "run_bulk",
     "run_web",
     "run_bittorrent",
+    "run_starlink",
     "run_cpu_task",
     "run_bulk_with_cross_traffic",
     "run_consolidated",
@@ -59,6 +63,7 @@ __all__ = [
     "relative_error",
     "RUNNERS",
     "FLUID_RUNNERS",
+    "SCHEDULE_RUNNERS",
 ]
 
 #: Frame size used for queue-sizing arithmetic (MSS + headers).
@@ -185,6 +190,7 @@ def run_bulk(
     sack: bool = True,
     mss: int = 1460,
     impair: Optional[ImpairmentSpec] = None,
+    schedule: Optional[ScheduleSpec] = None,
     trace: Optional[TraceSpec] = None,
     shards: int = 1,
     fidelity: str = "packet",
@@ -230,6 +236,15 @@ def run_bulk(
     ``trace.point == "receiver"`` cannot be combined with
     ``collect_interarrivals`` (both claim the same interface's recorder).
 
+    ``schedule`` drives the bottleneck link's delay/bandwidth/liveness as
+    a piecewise function of *virtual* time
+    (:class:`~repro.simnet.schedule.ScheduleSpec`): the same perceived
+    trace is replayed under every TDF. Composes with ``shards=2`` — the
+    scheduled bottleneck *is* the cut link, and the partition derives its
+    lookahead from the schedule's minimum delay — and with
+    ``fidelity="hybrid"`` (the link is not fluid-transparent while a
+    change is pending).
+
     ``shards=2`` splits the dumbbell at the bottleneck link — senders and
     left router in one worker process, receivers and right router in the
     other — and runs the two engines under the conservative barrier of
@@ -248,8 +263,8 @@ def run_bulk(
                 flows=flows, flavor=flavor, queue_packets=queue_packets,
                 warmup_s=warmup_s,
                 collect_interarrivals=collect_interarrivals,
-                sack=sack, mss=mss, impair=impair, trace=trace,
-                fidelity=fidelity,
+                sack=sack, mss=mss, impair=impair, schedule=schedule,
+                trace=trace, fidelity=fidelity,
             ),
             shards,
             _bulk_assignment(flows, shards),
@@ -277,6 +292,12 @@ def run_bulk(
         queue_factory=lambda: DropTailQueue(capacity_packets=queue),
     )
     net = bell.network
+    if schedule is not None:
+        # Attached before the partition below so the cut lookahead is
+        # derived from the schedule's minimum delay. Every worker arms the
+        # identical timers at the identical instants, so the per-shard
+        # link copies step in lockstep with the single-process run.
+        schedule.build(bell.bottleneck, tdf=factor)
     ctx = _shard if _shard is not None else InProcessShard(net)
     if _shard is not None:
         ctx.localize(net, partition_network(net, ctx.shards, ctx.assignment))
@@ -546,6 +567,7 @@ def run_bittorrent(
     choke_interval_s: float = 5.0,
     impair: Optional[ImpairmentSpec] = None,
     impair_tracker: Optional[ImpairmentSpec] = None,
+    schedule: Optional[ScheduleSpec] = None,
     trace: Optional[TraceSpec] = None,
     delay_salt: float = 0.0,
     timer_salt: float = 0.0,
@@ -561,6 +583,13 @@ def run_bittorrent(
     bite the swarm's primary data source. ``impair_tracker`` impairs both
     directions of the tracker's access link instead — the scenario the
     announce retry exists for.
+
+    ``schedule`` drives the *seed's access link* — the path every original
+    piece copy crosses — as a piecewise function of virtual time
+    (:class:`~repro.simnet.schedule.ScheduleSpec`): the Starlink-backhaul
+    scenario, where the swarm's primary source sits behind a handover
+    path. Attached before any partition so a sharded run derives its cut
+    lookahead from the schedule's minimum delay.
 
     ``trace`` attaches a flight recorder: point ``bottleneck`` is the
     seed's uplink egress, ``reverse`` the hub-to-seed direction, and
@@ -608,7 +637,8 @@ def run_bittorrent(
                 perceived_leaf=perceived_leaf, tdf=tdf, leechers=leechers,
                 file_bytes=file_bytes, seed=seed, piece_bytes=piece_bytes,
                 horizon_s=horizon_s, choke_interval_s=choke_interval_s,
-                impair=impair, impair_tracker=impair_tracker, trace=trace,
+                impair=impair, impair_tracker=impair_tracker,
+                schedule=schedule, trace=trace,
                 delay_salt=delay_salt, timer_salt=timer_salt,
                 fidelity=fidelity,
             ),
@@ -635,6 +665,10 @@ def run_bittorrent(
         leaves.append(leaf)
         links.append(link)
     net.finalize()
+    if schedule is not None:
+        # The seed's access link (links[1], h1<->hub). Before the
+        # partition: the cut lookahead must see the schedule's min delay.
+        schedule.build(links[1], tdf=factor)
     ctx = _shard if _shard is not None else InProcessShard(net)
     if _shard is not None:
         ctx.localize(net, partition_network(net, ctx.shards, ctx.assignment))
@@ -740,6 +774,150 @@ def run_bittorrent(
         connections_total=sum(p.connection_count for p in swarm.peers),
         trace_events=recorder.snapshot() if recorder is not None else [],
         realtime_stats=driver.stats.as_dict() if driver is not None else {},
+    )
+
+
+# ============================================================== starlink/QoE
+
+
+@dataclass
+class StreamingResult:
+    """Streaming-over-a-dynamic-path metrics, in virtual units."""
+
+    frames_sent: int
+    frames_on_time: int
+    frames_late: int
+    frames_lost: int
+    #: Per-frame one-way delays (virtual seconds, arrival order) — the
+    #: distribution the ext6 CDF-quantile/KS gates compare across TDFs.
+    frame_delays_s: List[float]
+    playable_fraction: float
+    #: Mean absolute delay variation between consecutive arrivals.
+    jitter_s: float
+    #: (late + lost) / sent — the QoE stall proxy.
+    stall_fraction: float
+    #: Goodput of the competing bulk download (0.0 when ``bulk=False``).
+    bulk_goodput_bps: float
+    #: Schedule entries actually applied (0 for a static run).
+    schedule_changes: int
+    #: Egress drops with reason "down" on the scheduled link — packets
+    #: that hit a handover outage.
+    outage_drops: int
+    #: Total engine events executed by the run (determinism fingerprint).
+    events_processed: int = 0
+
+
+def run_starlink(
+    perceived: NetworkProfile,
+    tdf: TdfLike,
+    duration_s: float,
+    schedule: Optional[ScheduleSpec] = None,
+    frame_interval_s: float = 0.020,
+    frame_bytes: int = 480,
+    playout_delay_s: float = 0.080,
+    bulk: bool = True,
+    flavor: str = "newreno",
+    queue_packets: Optional[int] = None,
+    mss: int = 1460,
+) -> StreamingResult:
+    """Media streaming (plus a competing bulk flow) over a scheduled path.
+
+    The Starlink-like three-node chain: a user terminal (``ut``) behind a
+    space segment whose delay/bandwidth/liveness follow ``schedule``
+    (virtual-time indexed — see :class:`~repro.simnet.schedule.ScheduleSpec`),
+    a gateway (``gw``), and a server (``srv``) on a fast terrestrial
+    link. ``srv`` streams fixed-cadence media frames downlink to a jitter
+    buffer on ``ut``; with ``bulk=True`` a TCP download shares the path,
+    so handovers are felt through the queue as well as the wire.
+
+    All metrics are virtual-axis: frame delays come from the dilated
+    guest clocks, so a TDF-10 run and its baseline are compared on the
+    perceived timeline — dilation equivalence under a *time-varying*
+    topology is exactly what ext6 gates.
+    """
+    factor = as_tdf(tdf)
+    physical = physical_for(perceived, factor)
+    terrestrial = physical_for(
+        NetworkProfile(perceived.bandwidth_bps * 10, 2e-3), factor
+    )
+    queue = (
+        queue_packets
+        if queue_packets is not None
+        else default_queue_packets(perceived, frame_bytes=mss + 40)
+    )
+    net = Network()
+    ut = net.add_node("ut")
+    gw = net.add_node("gw")
+    srv = net.add_node("srv")
+    space = net.add_link(
+        ut, gw, physical.bandwidth_bps, physical.delay_s,
+        queue_factory=lambda: DropTailQueue(capacity_packets=queue),
+    )
+    net.add_link(
+        gw, srv, terrestrial.bandwidth_bps, terrestrial.delay_s,
+        queue_factory=lambda: DropTailQueue(capacity_packets=queue),
+    )
+    net.finalize()
+    link_schedule = (
+        schedule.build(space, tdf=factor) if schedule is not None else None
+    )
+    vmm = Hypervisor(net.sim)
+    vm_ut = vmm.create_vm("ut", tdf=factor, cpu_share=1 / 3, node=ut)
+    vmm.create_vm("gw", tdf=factor, cpu_share=1 / 3, node=gw)
+    vmm.create_vm("srv", tdf=factor, cpu_share=1 / 3, node=srv)
+    sink = JitterBufferSink(
+        UdpStack(ut), port=5004, playout_delay_s=playout_delay_s,
+        keep_samples=True,
+    )
+    # Stop the frame train half a virtual second before the end of the
+    # run so tail frames still in flight are not miscounted as QoE loss.
+    total_frames = max(1, int((duration_s - 0.5) / frame_interval_s))
+    source = MediaSource(
+        UdpStack(srv), "ut", 5004,
+        frame_interval_s=frame_interval_s,
+        frame_bytes=frame_bytes,
+        total_frames=total_frames,
+        flow_id="media",
+    )
+    server = None
+    if bulk:
+        receive_buffer = max(
+            1 << 20, int(perceived.bandwidth_delay_product_bits / 2)
+        )
+        options = TcpOptions(flavor=flavor, mss=mss,
+                             receive_buffer=receive_buffer)
+        server = IperfServer(TcpStack(ut), options=options)
+        transfer_bytes = (
+            int(perceived.bandwidth_bps * duration_s / 8 * 2) + (1 << 20)
+        )
+        client = IperfClient(
+            TcpStack(srv), "ut", total_bytes=transfer_bytes,
+            options=options, flow_id="bulk",
+        )
+        client.start()
+    source.start()
+    net.run(until=vm_ut.clock.to_physical(duration_s))
+    sink.finalize(source.frames_sent)
+    outage_drops = (
+        space.a_to_b.drops.get("down", 0) + space.b_to_a.drops.get("down", 0)
+    )
+    return StreamingResult(
+        frames_sent=source.frames_sent,
+        frames_on_time=sink.on_time,
+        frames_late=sink.late,
+        frames_lost=sink.lost,
+        frame_delays_s=list(sink.delays),
+        playable_fraction=sink.playable_fraction(),
+        jitter_s=sink.jitter_s(),
+        stall_fraction=sink.stall_fraction(source.frames_sent),
+        bulk_goodput_bps=(
+            server.total_bytes * 8 / duration_s if server is not None else 0.0
+        ),
+        schedule_changes=(
+            link_schedule.applied if link_schedule is not None else 0
+        ),
+        outage_drops=outage_drops,
+        events_processed=net.sim.events_processed,
     )
 
 
@@ -1273,6 +1451,7 @@ RUNNERS = {
     "run_bulk": run_bulk,
     "run_web": run_web,
     "run_bittorrent": run_bittorrent,
+    "run_starlink": run_starlink,
     "run_cpu_task": run_cpu_task,
     "run_bulk_with_cross_traffic": run_bulk_with_cross_traffic,
     "run_consolidated": run_consolidated,
@@ -1283,3 +1462,7 @@ RUNNERS = {
 #: Runners that accept the ``fidelity=`` axis (hybrid fluid/packet
 #: engine); the sweep runner's ``--fidelity hybrid`` rewrites only these.
 FLUID_RUNNERS = frozenset({"run_bulk", "run_bittorrent"})
+
+#: Runners that accept the ``schedule=`` axis (dynamic-topology link
+#: schedules); the sweep runner's ``--schedule`` rewrites only these.
+SCHEDULE_RUNNERS = frozenset({"run_bulk", "run_bittorrent", "run_starlink"})

@@ -27,6 +27,7 @@ from ..core.dilation import (
     resource_scaling_rows,
 )
 from ..simnet.impairments import ImpairmentSpec
+from ..simnet.schedule import ScheduleSpec
 from ..simnet.units import format_rate, format_time, gbps, mbps, ms
 from ..stats.cdf import ks_distance, percentile
 from .ascii_chart import line_chart
@@ -1208,6 +1209,222 @@ def ext5_swarm_scale(impair: Optional[str] = None) -> FigureResult:
     return _run_inline("ext5", impair=impair)
 
 
+# ================================================================= ext6
+
+_EXT6_TDF = 10
+_EXT6_QUANTILES = (10, 50, 90)
+
+#: The trace axis of the TDF x trace sweep: two synthesized LEO handover
+#: patterns with different cadence and outage depth. "dense" exercises
+#: frequent handovers with large delay steps (the FIFO-clamp regime);
+#: "deep" has fewer, longer outages plus capacity dips on every other
+#: beam (the bandwidth-step regime).
+_EXT6_TRACES = [
+    ("dense", ScheduleSpec(kind="leo", period_s=2.0, count=3,
+                           outage_s=0.05, amplitude=0.5)),
+    ("deep", ScheduleSpec(kind="leo", period_s=3.0, count=2,
+                          outage_s=0.12, amplitude=0.25, dip=0.6)),
+]
+#: Streaming run length, virtual seconds — past both traces' horizons
+#: (6.05 s / 6.12 s) so every scheduled entry fires, with slack for the
+#: path to settle after the last re-acquisition.
+_EXT6_DURATION_S = 8.0
+
+
+def _ext6_cells() -> List[CellSpec]:
+    # A Starlink-ish space segment: 8 Mbps perceived, 25 ms one-way.
+    perceived = NetworkProfile(mbps(8), ms(25))
+    cells = []
+    for name, spec in _EXT6_TRACES:
+        for tdf in (1, _EXT6_TDF):
+            cells.append(
+                _cell("ext6", f"stream-{name}-tdf{tdf}", "run_starlink",
+                      perceived=perceived, tdf=tdf,
+                      duration_s=_EXT6_DURATION_S, schedule=spec)
+            )
+    # The swarm half: the seed's uplink — the link every original piece
+    # copy crosses — rides the dense trace. One small swarm keeps the
+    # macro-benchmark honest without dominating the sweep; 8 leechers
+    # give the KS statistic 1/8 granularity (swarm ordering is
+    # float-jitter sensitive, so dilated runs match statistically).
+    swarm = NetworkProfile.from_rtt(mbps(10), ms(20))
+    for tdf in (1, _EXT6_TDF):
+        cells.append(
+            _cell("ext6", f"swarm-tdf{tdf}", "run_bittorrent",
+                  perceived_leaf=swarm, tdf=tdf, leechers=8,
+                  file_bytes=1 << 20, piece_bytes=65536, seed=4242,
+                  schedule=_EXT6_TRACES[0][1])
+        )
+    return cells
+
+
+def _ext6_assemble(cell_results: Mapping[str, Any]) -> FigureResult:
+    from .validate import compare_metrics
+
+    table = Table(
+        ["workload", "trace", "TDF", "p10 (ms)", "p50 (ms)", "p90 (ms)",
+         "playable", "stall", "changes", "outage drops", "max err"],
+        title="Streaming + swarm over a scheduled (LEO handover) path, "
+              f"TDF 1 vs {_EXT6_TDF} (virtual axis)",
+    )
+    figure = FigureResult(
+        "ext6", "Dilation equivalence on a time-varying topology", table
+    )
+    for name, _spec in _EXT6_TRACES:
+        base = cell_results[f"stream-{name}-tdf1"]
+        dilated = cell_results[f"stream-{name}-tdf{_EXT6_TDF}"]
+        # The schedule must actually bite, identically at both TDFs:
+        # entries applied (handovers fire twice per count: down then up)
+        # and traffic dark-dropped in the outage windows. Counts are not
+        # hard-coded against the figure's own traces so ``--schedule``
+        # overrides replay cleanly.
+        figure.check(
+            f"stream/{name}: schedule applied, same entries at both TDFs "
+            f"({base.schedule_changes} == {dilated.schedule_changes} > 0)",
+            base.schedule_changes == dilated.schedule_changes > 0,
+        )
+        for label, result in (("baseline", base), ("dilated", dilated)):
+            figure.check(
+                f"stream/{name} {label}: handover outages drop traffic "
+                f"({result.outage_drops} drops)",
+                result.outage_drops > 0,
+            )
+        # The headline gate: frame-delay CDF quantiles on the virtual
+        # axis, via the same machinery user workloads certify with.
+        report = compare_metrics(
+            baseline={
+                f"p{q}": percentile(base.frame_delays_s, q)
+                for q in _EXT6_QUANTILES
+            },
+            dilated={
+                f"p{q}": percentile(dilated.frame_delays_s, q)
+                for q in _EXT6_QUANTILES
+            },
+            tdf=_EXT6_TDF,
+            tolerance=LOSSY_TOLERANCE,
+        )
+        for row, comparison in ((base, None), (dilated, report.comparisons)):
+            quantiles = [
+                percentile(row.frame_delays_s, q) if row.frame_delays_s
+                else float("nan")
+                for q in _EXT6_QUANTILES
+            ]
+            table.add_row(
+                "stream",
+                name,
+                1 if row is base else _EXT6_TDF,
+                *(f"{value * 1e3:.2f}" for value in quantiles),
+                f"{row.playable_fraction:.3f}",
+                f"{row.stall_fraction:.3f}",
+                row.schedule_changes,
+                row.outage_drops,
+                "-" if comparison is None else
+                f"{max(c.error for c in comparison) * 100:.2f}%",
+            )
+        for comparison in report.comparisons:
+            figure.check(
+                f"stream/{name}: {comparison.name} frame delay within "
+                f"{LOSSY_TOLERANCE:.0%} of baseline on the virtual axis "
+                f"(err {comparison.error:.4f})",
+                comparison.within(LOSSY_TOLERANCE),
+            )
+        distance = ks_distance(base.frame_delays_s, dilated.frame_delays_s)
+        figure.check(
+            f"stream/{name}: frame-delay CDFs agree "
+            f"(KS {distance:.3f} <= 0.25)",
+            distance <= 0.25,
+        )
+        qoe = compare_metrics(
+            baseline={"jitter_s": base.jitter_s,
+                      "stall": base.stall_fraction},
+            dilated={"jitter_s": dilated.jitter_s,
+                     "stall": dilated.stall_fraction},
+            tdf=_EXT6_TDF,
+            tolerance=LOSSY_TOLERANCE,
+        )
+        for comparison in qoe.comparisons:
+            figure.check(
+                f"stream/{name}: QoE {comparison.name} within "
+                f"{LOSSY_TOLERANCE:.0%} (err {comparison.error:.4f})",
+                comparison.within(LOSSY_TOLERANCE),
+            )
+    base = cell_results["swarm-tdf1"]
+    dilated = cell_results[f"swarm-tdf{_EXT6_TDF}"]
+    for label, result in (("baseline", base), ("dilated", dilated)):
+        figure.check(
+            f"swarm {label}: all leechers complete "
+            f"({result.completed}/{result.leechers})",
+            result.completed == result.leechers,
+        )
+    report = compare_metrics(
+        baseline={
+            f"p{q}": percentile(base.download_times_s, q)
+            for q in _EXT6_QUANTILES
+        },
+        dilated={
+            f"p{q}": percentile(dilated.download_times_s, q)
+            for q in _EXT6_QUANTILES
+        },
+        tdf=_EXT6_TDF,
+        tolerance=LOSSY_TOLERANCE,
+    )
+    for row, comparison in ((base, None), (dilated, report.comparisons)):
+        quantiles = [
+            percentile(row.download_times_s, q) if row.download_times_s
+            else float("nan")
+            for q in _EXT6_QUANTILES
+        ]
+        table.add_row(
+            "swarm",
+            _EXT6_TRACES[0][0],
+            1 if row is base else _EXT6_TDF,
+            *(f"{value * 1e3:.0f}" for value in quantiles),
+            "-",
+            "-",
+            "-",
+            "-",
+            "-" if comparison is None else
+            f"{max(c.error for c in comparison) * 100:.2f}%",
+        )
+    for comparison in report.comparisons:
+        figure.check(
+            f"swarm: {comparison.name} completion time within "
+            f"{LOSSY_TOLERANCE:.0%} of baseline on the virtual axis "
+            f"(err {comparison.error:.4f})",
+            comparison.within(LOSSY_TOLERANCE),
+        )
+    distance = ks_distance(base.download_times_s, dilated.download_times_s)
+    figure.check(
+        f"swarm: completion CDFs agree (KS {distance:.3f} <= 0.25)",
+        distance <= 0.25,
+    )
+    figure.notes.append(
+        "the schedule is virtual-time indexed: a TDF-10 run replays the "
+        "same perceived handover trace with instants and delays x10 and "
+        "bandwidths /10, so equivalence holds on the virtual axis even "
+        "though the topology never stops moving"
+    )
+    figure.notes.append(
+        "handover outages drop packets dark (no reroute) — playable "
+        "fraction and stall absorb the losses the jitter buffer conceals"
+    )
+    return figure
+
+
+def ext6_starlink() -> FigureResult:
+    """Extension E6: dilation equivalence on a time-varying topology.
+
+    A Starlink-like path whose space segment follows a synthesized LEO
+    handover schedule (periodic outages, delay steps, capacity dips —
+    all indexed by *virtual* time). Sweeps TDF {1, 10} x two traces for
+    a media stream with a competing bulk TCP flow, plus a small
+    BitTorrent swarm whose seed uplink rides the same schedule, and
+    gates frame-delay / completion-time CDF quantiles and KS distance
+    on the virtual axis.
+    """
+    return _run_inline("ext6")
+
+
 # ============================================================== registry
 
 
@@ -1229,6 +1446,7 @@ FIGURES: Dict[str, Callable[[], FigureResult]] = {
     "ext3": ext3_guest_program,
     "ext4": ext4_lossy_equivalence,
     "ext5": ext5_swarm_scale,
+    "ext6": ext6_starlink,
 }
 
 #: The two-phase (cells, assemble) form of every figure — what the
@@ -1251,6 +1469,7 @@ CELL_MODEL: Dict[str, FigureCells] = {
     "ext3": FigureCells(_ext3_cells, _ext3_assemble),
     "ext4": FigureCells(_ext4_cells, _ext4_assemble, has_impair_axis=True),
     "ext5": FigureCells(_ext5_cells, _ext5_assemble, has_impair_axis=True),
+    "ext6": FigureCells(_ext6_cells, _ext6_assemble),
 }
 
 

@@ -482,6 +482,35 @@ def _apply_fidelity(cells: List[CellSpec],
     return out, rewritten
 
 
+def _apply_schedule(cells: List[CellSpec],
+                    schedule: Any) -> Tuple[List[CellSpec], int]:
+    """Thread ``schedule`` into every schedule-capable cell; returns
+    (cells, count).
+
+    Like :func:`_apply_trace`, a scheduled cell is a *different* cell
+    from its static twin (the token covers kwargs, and ``ScheduleSpec``
+    is a frozen dataclass the canonical hash understands), so scheduled
+    results never alias static cache entries. Cells that already carry a
+    schedule (ext6 bakes its own trace axis in) are *overridden* — the
+    ``--schedule`` axis replays the whole figure against the user's
+    trace. Runners without the axis pass through unchanged.
+    """
+    from .experiments import SCHEDULE_RUNNERS
+
+    out: List[CellSpec] = []
+    rewritten = 0
+    for spec in cells:
+        if spec.runner in SCHEDULE_RUNNERS:
+            kwargs = dict(spec.kwargs)
+            kwargs["schedule"] = schedule
+            out.append(CellSpec(spec.figure_id, spec.key, spec.runner,
+                                kwargs))
+            rewritten += 1
+        else:
+            out.append(spec)
+    return out, rewritten
+
+
 def _recorder_events(spec: CellSpec, value: Any) -> Optional[int]:
     """Captured-event count for a traced cell's result (None if untraced)."""
     if spec.kwargs.get("trace") is None:
@@ -506,6 +535,7 @@ def run_sweep(
     trace: Optional[TraceSpec] = None,
     shards: int = 1,
     fidelity: str = "packet",
+    schedule: Optional[Any] = None,
 ) -> SweepOutcome:
     """Execute figures as a deduplicated cell sweep and merge in spec order.
 
@@ -534,6 +564,13 @@ def run_sweep(
     level (gated by :func:`repro.harness.validate.compare_metrics`) but
     not bit-identical, and cache under separate tokens. Requesting hybrid
     for figures with no fluid-capable cells is an error.
+
+    ``schedule`` (a :class:`repro.simnet.schedule.ScheduleSpec`) drives
+    every schedule-capable cell's dynamic link from the given
+    virtual-time trace (see
+    :data:`repro.harness.experiments.SCHEDULE_RUNNERS`); cells that
+    already carry a schedule are overridden. Requesting a schedule for
+    figures with no schedule-capable cells is an error.
     """
     from .figures import CELL_MODEL
 
@@ -574,6 +611,16 @@ def run_sweep(
                 raise ValueError(
                     f"experiment {figure_id!r} has no fluid-capable cells "
                     f"(fluid runners: {', '.join(sorted(FLUID_RUNNERS))})"
+                )
+        if schedule is not None:
+            cells, scheduled = _apply_schedule(cells, schedule)
+            if scheduled == 0:
+                from .experiments import SCHEDULE_RUNNERS
+
+                raise ValueError(
+                    f"experiment {figure_id!r} has no schedule-capable cells "
+                    "(schedule runners: "
+                    f"{', '.join(sorted(SCHEDULE_RUNNERS))})"
                 )
         per_figure[figure_id] = cells
         for spec in cells:

@@ -23,12 +23,14 @@ from .impairments import (
     Corrupt,
     Duplicate,
     GilbertElliott,
+    Handover,
     ImpairmentChain,
     ImpairmentSpec,
     LinkFlap,
     Reorder,
 )
 from .link import Link
+from .schedule import LinkSchedule, ScheduleEntry, ScheduleSpec
 from .nic import Interface
 from .node import Node
 from .packet import Packet
@@ -55,9 +57,13 @@ __all__ = [
     "Duplicate",
     "Corrupt",
     "LinkFlap",
+    "Handover",
     "ImpairmentChain",
     "ImpairmentSpec",
     "Link",
+    "LinkSchedule",
+    "ScheduleEntry",
+    "ScheduleSpec",
     "Interface",
     "Node",
     "Packet",

@@ -321,6 +321,43 @@ class Simulator:
         if len(queue) > self.max_heap_len:
             self.max_heap_len = len(queue)
 
+    def schedule_transient_at(
+        self, time: float, fn: Callable[..., None], *args: Any
+    ) -> None:
+        """Absolute-time variant of :meth:`schedule_transient`.
+
+        For callers that compute an arrival instant up front (the NIC
+        delivery path, which may FIFO-clamp it against an earlier
+        in-flight packet): scheduling the absolute time directly avoids
+        the ``(now + delay) - now`` round trip that would perturb float
+        timestamps. The tie rank is the current instant, exactly as for
+        a delay-form transient, so ``schedule_transient_at(now + d)``
+        and ``schedule_transient(d)`` produce bit-identical heap entries.
+        """
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at {time}; current time is {self._now}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event.time = time
+            event.seq = seq
+            event.fn = fn
+            event.args = args
+            event.cancelled = False
+            event._live = True
+        else:
+            event = Event(time, seq, fn, args, self)
+            event._transient = True
+        self._live += 1
+        queue = self._queue
+        heapq.heappush(queue, (time, self._now, seq, event))
+        if len(queue) > self.max_heap_len:
+            self.max_heap_len = len(queue)
+
     # --------------------------------------------------------------- main loop
 
     def run(

@@ -56,6 +56,7 @@ __all__ = [
     "Duplicate",
     "Corrupt",
     "LinkFlap",
+    "Handover",
     "FunctionLoss",
     "ImpairmentChain",
     "ImpairmentSpec",
@@ -78,6 +79,13 @@ class Impairment:
     ``apply`` returns ``None`` to pass the packet unchanged, or a verdict
     tuple: ``("drop", reason)``, ``("hold", delay_s)``, or ``("dup",)``.
     Stages may also mutate the packet in place (corruption does).
+
+    Stages additionally get lifecycle callbacks from
+    :meth:`~repro.simnet.nic.Interface.set_impairments`: ``attach`` when
+    the containing chain is installed on an egress, ``detach`` when it is
+    replaced or cleared. Stages that arm engine timers (:class:`LinkFlap`,
+    :class:`Handover`) defer arming to ``attach`` — a chain that is built
+    but never attached must schedule nothing — and cancel on ``detach``.
     """
 
     #: Drop-taxonomy reason this stage charges (overridden per class).
@@ -85,6 +93,12 @@ class Impairment:
 
     def apply(self, packet: Packet) -> Optional[tuple]:  # pragma: no cover
         raise NotImplementedError
+
+    def attach(self, iface: "Interface") -> None:
+        """Lifecycle hook: the chain was installed on ``iface``'s egress."""
+
+    def detach(self, iface: "Interface") -> None:
+        """Lifecycle hook: the chain was removed from ``iface``'s egress."""
 
 
 class BernoulliLoss(Impairment):
@@ -265,10 +279,14 @@ class Corrupt(Impairment):
 class LinkFlap(Impairment):
     """Scheduled outage windows driven by engine timers.
 
-    ``windows`` is a sequence of ``(down_at, up_at)`` physical times; at
-    construction the stage arms one timer per edge. While down, every
-    packet through the stage is dropped with reason ``"flap"`` — in-flight
-    packets already past the transmitter still arrive, as on a real cut.
+    ``windows`` is a sequence of ``(down_at, up_at)`` physical times. One
+    timer per edge is armed when the chain is first attached to an
+    interface — never at construction, so a chain that is built but never
+    installed leaks no engine events and does not skew ``pending()`` —
+    and every armed timer is cancelled when the last attachment is
+    removed. While down, every packet through the stage is dropped with
+    reason ``"flap"`` — in-flight packets already past the transmitter
+    still arrive, as on a real cut.
     """
 
     reason = "flap"
@@ -282,8 +300,33 @@ class LinkFlap(Impairment):
                 raise ConfigurationError(
                     f"flap window must have up_at > down_at: ({down_at}, {up_at})"
                 )
-            sim.call_at(down_at, self._go_down)
-            sim.call_at(up_at, self._go_up)
+        self.sim = sim
+        self.windows: Tuple[Tuple[float, float], ...] = tuple(
+            (down_at, up_at) for down_at, up_at in windows
+        )
+        self._timers: List[object] = []
+        self._attached = 0
+
+    def attach(self, iface: "Interface") -> None:
+        self._attached += 1
+        if self._attached == 1:
+            now = self.sim.now
+            for down_at, up_at in self.windows:
+                # Edges already in the past (chain installed mid-run) are
+                # skipped rather than rejected: the stage simply starts in
+                # whatever state the remaining edges imply.
+                if down_at >= now:
+                    self._timers.append(self.sim.call_at(down_at, self._go_down))
+                if up_at >= now:
+                    self._timers.append(self.sim.call_at(up_at, self._go_up))
+
+    def detach(self, iface: "Interface") -> None:
+        self._attached -= 1
+        if self._attached == 0:
+            for timer in self._timers:
+                if timer.active:
+                    timer.cancel()
+            self._timers.clear()
 
     def _go_down(self) -> None:
         self.down = True
@@ -296,6 +339,105 @@ class LinkFlap(Impairment):
     def apply(self, packet: Packet) -> Optional[tuple]:
         if self.down:
             return (_DROP, self.reason)
+        return None
+
+
+class Handover(Impairment):
+    """LEO-style satellite switch: outage + delay step + reorder burst.
+
+    At each instant in ``times`` the egress goes dark for ``outage_s``
+    (packets dropped with reason ``"handover"``) and then re-acquires
+    with the interface's propagation delay stepped to the next value in
+    ``delays`` (cycled; empty keeps the delay unchanged). Optionally the
+    first ``burst`` packets after re-acquisition are each held ``hold_s``
+    — the reorder burst real constellations show while the new path's
+    queue drains. A delay *decrease* at a switch cannot reorder the pipe
+    itself: the NIC clamps arrivals FIFO per direction.
+
+    The stage needs its interface to step the delay, so timers are armed
+    on attach and cancelled on detach; one stage serves exactly one
+    attachment point (build a fresh chain per interface, as with every
+    stateful stage). Times and delays are physical seconds at this layer;
+    :meth:`ImpairmentSpec.build` scales virtual-second specs by the TDF.
+    """
+
+    reason = "handover"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        times: Sequence[float],
+        outage_s: float,
+        delays: Sequence[float] = (),
+        burst: int = 0,
+        hold_s: float = 0.0,
+    ) -> None:
+        if outage_s <= 0:
+            raise ConfigurationError(f"outage_s must be positive: {outage_s}")
+        if hold_s < 0:
+            raise ConfigurationError(f"hold_s must be non-negative: {hold_s}")
+        if burst < 0:
+            raise ConfigurationError(f"burst must be non-negative: {burst}")
+        ordered = tuple(float(t) for t in times)
+        if any(b <= a for a, b in zip(ordered, ordered[1:])):
+            raise ConfigurationError(
+                f"handover times must be strictly increasing: {ordered}"
+            )
+        if any(d < 0 for d in delays):
+            raise ConfigurationError(f"delays must be non-negative: {delays}")
+        self.sim = sim
+        self.times = ordered
+        self.outage_s = outage_s
+        self.delays = tuple(float(d) for d in delays)
+        self.burst = burst
+        self.hold_s = hold_s
+        self.down = False
+        self.handovers = 0
+        self._burst_left = 0
+        self._delay_index = 0
+        self._iface: Optional["Interface"] = None
+        self._timers: List[object] = []
+
+    def attach(self, iface: "Interface") -> None:
+        if self._iface is not None:
+            raise ConfigurationError(
+                "a Handover stage serves one interface; build one chain "
+                "per attachment point"
+            )
+        self._iface = iface
+        now = self.sim.now
+        for at in self.times:
+            if at >= now:
+                self._timers.append(self.sim.call_at(at, self._switch))
+
+    def detach(self, iface: "Interface") -> None:
+        self._iface = None
+        for timer in self._timers:
+            if timer.active:
+                timer.cancel()
+        self._timers.clear()
+
+    def _switch(self) -> None:
+        self.down = True
+        self.handovers += 1
+        self._timers.append(
+            self.sim.call_at(self.sim.now + self.outage_s, self._acquire)
+        )
+
+    def _acquire(self) -> None:
+        self.down = False
+        iface = self._iface
+        if iface is not None and self.delays:
+            iface.delay_s = self.delays[self._delay_index % len(self.delays)]
+            self._delay_index += 1
+        self._burst_left = self.burst
+
+    def apply(self, packet: Packet) -> Optional[tuple]:
+        if self.down:
+            return (_DROP, self.reason)
+        if self._burst_left > 0 and self.hold_s > 0:
+            self._burst_left -= 1
+            return (_HOLD, self.hold_s)
         return None
 
 
@@ -330,6 +472,16 @@ class ImpairmentChain:
         """Append a stage; returns self for chaining."""
         self.stages.append(stage)
         return self
+
+    def attach(self, iface: "Interface") -> None:
+        """Forward the install lifecycle event to every stage."""
+        for stage in self.stages:
+            stage.attach(iface)
+
+    def detach(self, iface: "Interface") -> None:
+        """Forward the removal lifecycle event to every stage."""
+        for stage in self.stages:
+            stage.detach(iface)
 
     def send_through(self, iface: "Interface", packet: Packet) -> None:
         """Run ``packet`` through the stages, then into the egress queue."""
@@ -370,7 +522,10 @@ def _clone(packet: Packet) -> Packet:
 
 
 #: Spec kinds understood by :meth:`ImpairmentSpec.build`.
-_KINDS = ("bernoulli", "gilbert", "reorder", "duplicate", "corrupt", "flap")
+_KINDS = (
+    "bernoulli", "gilbert", "reorder", "duplicate", "corrupt", "flap",
+    "handover",
+)
 
 
 @dataclass(frozen=True)
@@ -388,6 +543,13 @@ class ImpairmentSpec:
         gilbert:rate=0.01,burst=4
         reorder:rate=0.05,hold=0.002
         flap:windows=1.0-1.5/3.0-3.2
+        handover:every=2.0,count=3,outage=0.05,delays=0.03+0.05,hold=0.004
+
+    ``handover`` switches satellites every ``every`` virtual seconds,
+    ``count`` times: each switch is a brief outage plus a delay step to
+    the next value in ``delays`` (cycled), optionally followed by a
+    reorder burst of ``int(burst)`` packets held ``hold`` seconds each
+    (``hold=0`` disables the burst).
     """
 
     kind: str
@@ -396,12 +558,34 @@ class ImpairmentSpec:
     hold_s: float = 0.0
     windows: Tuple[Tuple[float, float], ...] = field(default_factory=tuple)
     seed: int = 1
+    #: Handover cadence: virtual seconds between satellite switches.
+    every_s: float = 0.0
+    #: Handover count: number of switches over the run.
+    count: int = 0
+    #: Handover outage: virtual seconds of darkness per switch.
+    outage_s: float = 0.05
+    #: Handover delay steps: virtual one-way delays cycled per switch.
+    delays: Tuple[float, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
             raise ConfigurationError(
                 f"unknown impairment kind {self.kind!r}; known: {_KINDS}"
             )
+        if self.kind == "handover":
+            if self.every_s <= 0:
+                raise ConfigurationError(
+                    "handover needs every=<seconds between switches> > 0"
+                )
+            if self.count < 1:
+                raise ConfigurationError(
+                    "handover needs count=<number of switches> >= 1"
+                )
+            if not 0 < self.outage_s < self.every_s:
+                raise ConfigurationError(
+                    f"handover outage ({self.outage_s}) must be positive and "
+                    f"shorter than the cadence ({self.every_s})"
+                )
 
     @classmethod
     def parse(cls, text: str) -> "ImpairmentSpec":
@@ -420,6 +604,16 @@ class ImpairmentSpec:
                     kwargs["hold_s"] = float(value)
                 elif key == "seed":
                     kwargs["seed"] = int(value)
+                elif key == "every":
+                    kwargs["every_s"] = float(value)
+                elif key == "count":
+                    kwargs["count"] = int(value)
+                elif key == "outage":
+                    kwargs["outage_s"] = float(value)
+                elif key == "delays":
+                    kwargs["delays"] = tuple(
+                        float(d) for d in value.split("+") if d
+                    )
                 elif key == "windows":
                     pairs = []
                     for window in value.split("/"):
@@ -453,9 +647,21 @@ class ImpairmentSpec:
             stage = Duplicate(self.rate, seed=self.seed)
         elif self.kind == "corrupt":
             stage = Corrupt(self.rate, seed=self.seed)
-        else:  # flap
+        elif self.kind == "flap":
             scaled = tuple(
                 (down * factor, up * factor) for down, up in self.windows
             )
             stage = LinkFlap(sim, scaled)
+        else:  # handover
+            stage = Handover(
+                sim,
+                times=tuple(
+                    (index + 1) * self.every_s * factor
+                    for index in range(self.count)
+                ),
+                outage_s=self.outage_s * factor,
+                delays=tuple(d * factor for d in self.delays),
+                burst=int(self.burst) if self.hold_s > 0 else 0,
+                hold_s=self.hold_s * factor,
+            )
         return ImpairmentChain([stage])

@@ -111,6 +111,19 @@ class Interface:
         #: ``None`` — the only state in a single-process run — costs one
         #: attribute check per transmitted packet.
         self.egress_channel = None
+        #: Optional :class:`repro.simnet.schedule.LinkSchedule` driving this
+        #: interface's delay/bandwidth/liveness as a function of time (set
+        #: by the schedule on attach). Consulted by
+        #: :meth:`fluid_transparent` and :meth:`min_delay_s`.
+        self.schedule = None
+        #: FIFO horizon: the latest arrival instant this direction has
+        #: handed to the propagation pipe. A mid-run *decrease* of
+        #: ``delay_s`` (schedule step, handover re-acquisition) must not
+        #: let a later packet overtake one already in flight — dummynet
+        #: clamps each arrival to the previous packet's, and so do we.
+        #: Jittered interfaces are exempt: netem-style jitter reorders by
+        #: design (pinned by test_jitter_can_reorder_packets).
+        self._fifo_horizon_s = 0.0
 
     def connect(self, peer: "Interface") -> None:
         """Bind the remote endpoint; both directions are bound symmetrically."""
@@ -130,8 +143,20 @@ class Interface:
         self.loss_fn = loss_fn
 
     def set_impairments(self, chain: Optional["ImpairmentChain"]) -> None:
-        """Attach (or clear) an impairment pipeline on this egress."""
+        """Attach (or clear) an impairment pipeline on this egress.
+
+        Stages get lifecycle callbacks: the outgoing chain's stages are
+        detached first (cancelling any engine timers they armed — see
+        :class:`~repro.simnet.impairments.LinkFlap`), then the incoming
+        chain's stages are attached. A chain that is built but never
+        attached therefore schedules nothing.
+        """
+        old = self._impairments
+        if old is not None:
+            old.detach(self)
         self._impairments = chain
+        if chain is not None:
+            chain.attach(self)
 
     def fluid_transparent(self) -> bool:
         """True when this egress is a pure delay+bandwidth+droptail pipe.
@@ -140,9 +165,11 @@ class Interface:
         hop it can express in closed form: no loss injector, impairment
         chain, tap, recorder or jitter (all per-packet decisions), no
         cross-shard egress channel (those packets must really cross the
-        boundary inside the lookahead window), and a drop-tail queue.
-        Re-checked every fluid step, so installing any of these mid-run
-        demotes the flows riding this hop back to packet level.
+        boundary inside the lookahead window), no schedule change still
+        pending (a closed-form hold would integrate straight across the
+        discontinuity), and a drop-tail queue. Re-checked every fluid
+        step, so installing any of these mid-run demotes the flows riding
+        this hop back to packet level.
         """
         return (
             self.up
@@ -152,8 +179,24 @@ class Interface:
             and not self._taps
             and self.recorder is None
             and self.jitter_s == 0
+            and (self.schedule is None or not self.schedule.change_pending)
             and getattr(self.queue, "fluid_transparent", False)
         )
+
+    def min_delay_s(self) -> float:
+        """Conservative minimum propagation delay this egress can exhibit.
+
+        Static interfaces: the base delay minus the worst-case jitter
+        excursion. Scheduled interfaces additionally take the minimum over
+        every delay the schedule will ever apply — a partition's lookahead
+        must hold for the entire run, not just the initial configuration,
+        so :func:`~repro.simnet.topology.partition_network` derives cut
+        lookahead from this, not from ``delay_s``.
+        """
+        delay = self.delay_s
+        if self.schedule is not None:
+            delay = min(delay, self.schedule.min_delay_s)
+        return delay - self.jitter_s
 
     @property
     def down_drops(self) -> int:
@@ -239,15 +282,27 @@ class Interface:
         assert peer is not None  # checked in send()
         delay = self.delay_s
         if self.jitter_s > 0 and self._jitter_rng is not None:
+            # Jitter reorders by design (netem semantics) — no clamp.
             delay += self._jitter_rng.uniform(-self.jitter_s, self.jitter_s)
+            arrival = self.sim.now + delay
+        else:
+            # FIFO per direction: clamp the arrival to the previous
+            # packet's so a mid-run delay decrease cannot let this packet
+            # overtake one still propagating (dummynet does the same).
+            # Under a constant delay the clamp never binds, keeping the
+            # static-path schedule bit-identical.
+            arrival = self.sim.now + delay
+            if arrival < self._fifo_horizon_s:
+                arrival = self._fifo_horizon_s
+            self._fifo_horizon_s = arrival
         channel = self.egress_channel
         if channel is not None:
             # The peer lives in another shard: ship (arrival time, packet)
-            # to its engine. Jitter was drawn above, sender-side, so the
-            # arrival time is final and deterministic.
-            channel.send(self.sim.now + delay, packet)
+            # to its engine. Jitter/clamping happened above, sender-side,
+            # so the arrival time is final and deterministic.
+            channel.send(arrival, packet)
         else:
-            self.sim.schedule_transient(delay, peer._deliver, packet)
+            self.sim.schedule_transient_at(arrival, peer._deliver, packet)
         self._transmit_next()
 
     def _deliver(self, packet: Packet) -> None:

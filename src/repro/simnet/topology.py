@@ -192,13 +192,19 @@ def partition_network(
             from_shard = assignment[src]
             to_shard = assignment[dst]
             if from_shard != to_shard:
-                lookahead = iface.delay_s - iface.jitter_s
+                # Conservative over the whole run: a scheduled interface
+                # reports the minimum delay its schedule will ever apply,
+                # so the lookahead derived here stays valid across every
+                # delay step (partition after attaching schedules).
+                lookahead = iface.min_delay_s()
                 if lookahead <= 0:
                     raise ConfigurationError(
                         f"partition cuts link {iface.name!r} which has no "
                         f"lookahead (delay {iface.delay_s}s, jitter "
-                        f"{iface.jitter_s}s): a zero-delay link cannot "
-                        "cross shards — co-locate its endpoints"
+                        f"{iface.jitter_s}s, schedule min "
+                        f"{iface.schedule.min_delay_s if iface.schedule is not None else 'n/a'}): "
+                        "a link that can reach zero delay cannot cross "
+                        "shards — co-locate its endpoints"
                     )
                 cut_edges.append(CutEdge(
                     channel_id=channel_id,
@@ -257,8 +263,8 @@ def suggest_assignment(net: Network, shards: int) -> Dict[str, int]:
         degree[link.node_a.name] += 1
         degree[link.node_b.name] += 1
         if min(
-            link.a_to_b.delay_s - link.a_to_b.jitter_s,
-            link.b_to_a.delay_s - link.b_to_a.jitter_s,
+            link.a_to_b.min_delay_s(),
+            link.b_to_a.min_delay_s(),
         ) <= 0:
             a, b = find(link.node_a.name), find(link.node_b.name)
             if a != b:

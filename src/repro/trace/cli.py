@@ -73,6 +73,14 @@ def _build_parser() -> argparse.ArgumentParser:
              "where the fluid engine coarsens the packet timeline",
     )
     capture.add_argument(
+        "--schedule", metavar="SPEC", default=None,
+        help="drive each cell's dynamic link from a virtual-time schedule, "
+             "kind[:key=value,...] with kind leo or csv (e.g. "
+             "'leo:period=1.0,count=4,outage=0.03'); the CI schedule tier "
+             "captures the same scheduled cell at --shards 1 and 2 and "
+             "diffs the recordings to zero divergence",
+    )
+    capture.add_argument(
         "--salt", type=float, default=None, metavar="S",
         help="explicit delay_salt for swarm cells (run_bittorrent only). "
              "--shards 2+ salts swarm cells automatically; pass the same "
@@ -185,6 +193,25 @@ def _cmd_capture(args: argparse.Namespace) -> int:
                   f"(fluid runners: {', '.join(sorted(FLUID_RUNNERS))})",
                   file=sys.stderr)
             return 2
+    schedule_spec = None
+    if args.schedule is not None:
+        from ..harness.experiments import SCHEDULE_RUNNERS
+        from ..simnet.errors import ConfigurationError
+        from ..simnet.schedule import ScheduleSpec
+
+        try:
+            schedule_spec = ScheduleSpec.parse(args.schedule)
+        except ConfigurationError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        unscheduled = [s.key for s in cells
+                       if s.runner not in SCHEDULE_RUNNERS]
+        if unscheduled:
+            print(f"cell(s) not schedule-capable: {', '.join(unscheduled)} "
+                  f"(schedule runners: "
+                  f"{', '.join(sorted(SCHEDULE_RUNNERS))})",
+                  file=sys.stderr)
+            return 2
     os.makedirs(args.out, exist_ok=True)
     for spec in cells:
         base = dict(spec.kwargs)
@@ -192,6 +219,8 @@ def _cmd_capture(args: argparse.Namespace) -> int:
             base["delay_salt"] = args.salt
         if args.fidelity != "packet":
             base["fidelity"] = args.fidelity
+        if schedule_spec is not None:
+            base["schedule"] = schedule_spec
         if args.shards != 1:
             kwargs = shard_cell_kwargs(spec.runner, base, args.shards)
         else:

@@ -10,7 +10,7 @@ def test_registry_covers_design_doc():
     expected = {
         "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
         "fig9", "fig10", "ablation1", "ablation2", "ext1", "ext2", "ext3",
-        "ext4", "ext5",
+        "ext4", "ext5", "ext6",
     }
     assert set(figure_ids()) == expected
 

@@ -199,3 +199,60 @@ def test_suggest_assignment_contracts_zero_delay_links():
     star = _star(leaves=4, delay=0.0)
     assignment = suggest_assignment(star.network, 2)
     assert len(set(assignment.values())) == 1
+
+
+def test_scheduled_cut_link_rederives_lookahead_from_schedule_min():
+    """A schedule on a cut link lowers the conservative lookahead to the
+    minimum delay the link will *ever* have, not the delay at partition
+    time — the barrier must hold for the whole run."""
+    from repro.simnet.schedule import LinkSchedule, ScheduleEntry
+
+    star = _star(leaves=2, delay=ms(10))
+    # h1's access link crosses the cut; its delay dips to 2 ms mid-run.
+    link = star.network.links[1]
+    LinkSchedule(link.a_to_b.sim, link, [
+        ScheduleEntry(1.0, delay_s=ms(2)),
+        ScheduleEntry(2.0, delay_s=ms(30)),
+    ])
+    partition = partition_network(
+        star.network, 2, {"hub": 0, "h0": 0, "h1": 1}
+    )
+    assert partition.lookahead_s == pytest.approx(ms(2))
+
+
+def test_scheduled_cut_link_with_zero_min_delay_refused():
+    """A schedule that ever drives a cut link's delay to zero leaves the
+    partition without lookahead — refuse it up front, loudly."""
+    from repro.simnet.schedule import LinkSchedule, ScheduleEntry
+
+    star = _star(leaves=2, delay=ms(10))
+    link = star.network.links[1]
+    LinkSchedule(link.a_to_b.sim, link, [ScheduleEntry(1.0, delay_s=0.0)])
+    with pytest.raises(ConfigurationError, match="lookahead"):
+        partition_network(star.network, 2, {"hub": 0, "h0": 0, "h1": 1})
+
+
+def test_schedule_off_cut_does_not_change_lookahead():
+    from repro.simnet.schedule import LinkSchedule, ScheduleEntry
+
+    star = _star(leaves=2, delay=ms(10))
+    # h0's link stays inside shard 0: its schedule must not leak into the
+    # cut lookahead.
+    link = star.network.links[0]
+    LinkSchedule(link.a_to_b.sim, link, [ScheduleEntry(1.0, delay_s=ms(1))])
+    partition = partition_network(
+        star.network, 2, {"hub": 0, "h0": 0, "h1": 1}
+    )
+    assert partition.lookahead_s == pytest.approx(ms(10))
+
+
+def test_suggest_assignment_contracts_scheduled_zero_delay_links():
+    """The assignment helper must keep endpoints of a link that ever hits
+    zero delay in one shard, exactly as for statically zero-delay links."""
+    from repro.simnet.schedule import LinkSchedule, ScheduleEntry
+
+    star = _star(leaves=4, delay=ms(10))
+    link = star.network.links[2]  # h2's access link
+    LinkSchedule(link.a_to_b.sim, link, [ScheduleEntry(1.0, delay_s=0.0)])
+    assignment = suggest_assignment(star.network, 2)
+    assert assignment[link.node_a.name] == assignment[link.node_b.name]

@@ -205,6 +205,50 @@ def test_capture_salted_baseline_matches_sharded_swarm(
     assert rc == 0
 
 
+def test_capture_schedule_sharded_diff_zero_divergence(
+    tmp_path, tiny_figure,
+):
+    """The CI schedule tier's gate: the same scheduled cell captured at
+    --shards 1 and 2 diffs to zero divergence (replicated schedule timers
+    step the per-shard link copies in lockstep)."""
+    spec = "leo:period=0.2,count=2,outage=0.02"
+    rc = trace_cli.main([
+        "capture", "figtest", "--cells", "tdf1", "--schedule", spec,
+        "--out", str(tmp_path / "one"),
+    ])
+    assert rc == 0
+    rc = trace_cli.main([
+        "capture", "figtest", "--cells", "tdf1", "--schedule", spec,
+        "--shards", "2", "--out", str(tmp_path / "two"),
+    ])
+    assert rc == 0
+    rc = trace_cli.main([
+        "diff",
+        str(tmp_path / "two" / "figtest-tdf1.jsonl"),
+        str(tmp_path / "one" / "figtest-tdf1.jsonl"),
+    ])
+    assert rc == 0
+
+
+def test_capture_schedule_rejects_bad_spec(tmp_path, tiny_figure, capsys):
+    assert trace_cli.main([
+        "capture", "figtest", "--schedule", "geo", "--out", str(tmp_path),
+    ]) == 2
+    assert "unknown schedule kind" in capsys.readouterr().err
+
+
+def test_capture_schedule_rejected_for_incapable_cells(
+    tmp_path, tiny_figure, monkeypatch, capsys,
+):
+    from repro.harness import experiments
+
+    monkeypatch.setattr(experiments, "SCHEDULE_RUNNERS", frozenset())
+    assert trace_cli.main([
+        "capture", "figtest", "--schedule", "leo", "--out", str(tmp_path),
+    ]) == 2
+    assert "not schedule-capable" in capsys.readouterr().err
+
+
 def test_diff_missing_file(tmp_path, capsys):
     missing = tmp_path / "nope.jsonl"
     present = tmp_path / "yes.jsonl"
